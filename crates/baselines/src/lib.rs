@@ -1,0 +1,31 @@
+//! # pcs-baselines
+//!
+//! The state-of-the-art tail-latency techniques PCS is compared against
+//! (paper §VI-A "Compared techniques"):
+//!
+//! * **Request redundancy** (`RED-k`, [`redundancy::RedundancyPolicy`]) —
+//!   every sub-request is sent to k replicas in parallel and the quickest
+//!   response is used. A cancellation mechanism removes *queued* duplicates
+//!   once one replica begins execution, but the cancellation message takes
+//!   a network delay to arrive, so replicas that start within that window
+//!   still execute — the two waste sources the paper describes verbatim
+//!   (§VI-C). Redundancy helps under light load and deteriorates under
+//!   heavy load.
+//! * **Request reissue** (`RI-p`, [`reissue::ReissuePolicy`]) — a
+//!   sub-request first goes to a primary replica; a duplicate is sent to a
+//!   backup only if the first copy is still outstanding after the p-th
+//!   percentile of that request class's expected latency (p = 90 or 99).
+//!   A conservative form of redundancy that degrades less under load.
+//!
+//! Both implement `pcs-sim`'s [`DispatchPolicy`](pcs_sim::DispatchPolicy) and can be plugged into
+//! any simulation; the `Basic` technique (no redundancy) ships with
+//! `pcs-sim` itself, and PCS is the umbrella crate's scheduler hook.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod redundancy;
+pub mod reissue;
+
+pub use redundancy::RedundancyPolicy;
+pub use reissue::ReissuePolicy;

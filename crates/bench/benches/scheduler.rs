@@ -1,0 +1,66 @@
+//! Criterion benches for the scheduler hot paths: matrix construction
+//! ("analysis"), the greedy loop with Algorithm 2 ("search"), and the
+//! incremental-vs-rebuild comparison — the machinery behind Figure 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcs::experiments::fig7::{synthetic_inputs, synthetic_models};
+use pcs_core::{ComponentScheduler, MatrixConfig, PerformanceMatrix, SchedulerConfig};
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let models = synthetic_models();
+    let mut group = c.benchmark_group("matrix_build");
+    group.sample_size(20);
+    for (m, k) in [(40, 8), (160, 32), (640, 128)] {
+        let inputs = synthetic_inputs(m, k, 7);
+        group.bench_with_input(BenchmarkId::new("analysis", format!("{m}x{k}")), &inputs, |b, inputs| {
+            b.iter(|| PerformanceMatrix::build(inputs, &models, MatrixConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_search(c: &mut Criterion) {
+    let models = synthetic_models();
+    let mut group = c.benchmark_group("greedy_search");
+    group.sample_size(10);
+    for (m, k) in [(40, 8), (160, 32), (640, 128)] {
+        let inputs = synthetic_inputs(m, k, 7);
+        let scheduler = ComponentScheduler::new(SchedulerConfig {
+            epsilon_secs: 0.0001,
+            max_migrations: None,
+            full_rebuild: false,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule", format!("{m}x{k}")),
+            &inputs,
+            |b, inputs| b.iter(|| scheduler.schedule(inputs, &models, MatrixConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let models = synthetic_models();
+    let mut group = c.benchmark_group("update_strategy");
+    group.sample_size(10);
+    let inputs = synthetic_inputs(160, 32, 7);
+    for (label, full_rebuild) in [("algorithm2", false), ("full_rebuild", true)] {
+        let scheduler = ComponentScheduler::new(SchedulerConfig {
+            epsilon_secs: 0.0001,
+            max_migrations: None,
+            full_rebuild,
+        });
+        group.bench_function(label, |b| {
+            b.iter(|| scheduler.schedule(&inputs, &models, MatrixConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_build,
+    bench_greedy_search,
+    bench_incremental_vs_rebuild
+);
+criterion_main!(benches);

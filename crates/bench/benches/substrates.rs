@@ -1,0 +1,70 @@
+//! Criterion benches for the substrate hot paths: the Eq. 2 queueing
+//! evaluation, streaming percentile tracking, Eq. 1 regression training
+//! and prediction, and the end-to-end simulator event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcs_core::{train_class_models, ClassModelSet};
+use pcs_queueing::{Mg1, P2Quantile};
+use pcs_regression::{SampleSet, TrainingConfig};
+use pcs_sim::{BasicPolicy, NoopScheduler, SimConfig, Simulation};
+use pcs_types::{ContentionVector, SimDuration};
+use pcs_workloads::ServiceTopology;
+
+fn bench_mg1(c: &mut Criterion) {
+    c.bench_function("mg1_estimate", |b| {
+        let q = Mg1::new(350.0, 0.0011, 1.3);
+        b.iter(|| std::hint::black_box(q.estimate()))
+    });
+}
+
+fn bench_p2(c: &mut Criterion) {
+    c.bench_function("p2_quantile_push", |b| {
+        let mut est = P2Quantile::new(0.99);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x * 1103515245.0 + 12345.0) % 1.0e4;
+            est.push(x / 1.0e4);
+        })
+    });
+}
+
+fn training_set() -> SampleSet {
+    let mut set = SampleSet::new();
+    for i in 0..500 {
+        let t = i as f64 / 250.0;
+        let u = ContentionVector::new(t, 24.0 * t, 0.9 * t, 0.5 * t);
+        set.push(u, 0.001 * (1.0 + 0.8 * t + 0.2 * t * t));
+    }
+    set
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let set = training_set();
+    c.bench_function("eq1_train_500_samples", |b| {
+        b.iter(|| train_class_models(std::slice::from_ref(&set), TrainingConfig::default(), 0.0).unwrap())
+    });
+    let (models, _) = train_class_models(&[set], TrainingConfig::default(), 0.0).unwrap();
+    let models: ClassModelSet = models;
+    let u = ContentionVector::new(0.7, 17.0, 0.6, 0.35);
+    c.bench_function("eq1_predict", |b| {
+        b.iter(|| std::hint::black_box(models.get(0).unwrap().predict_clamped(&u)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("nutch24_rate100_5s", |b| {
+        b.iter(|| {
+            let mut config =
+                SimConfig::paper_like(ServiceTopology::nutch(24), 100.0, 42);
+            config.horizon = SimDuration::from_secs(5);
+            config.warmup = SimDuration::from_secs(1);
+            Simulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler)).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mg1, bench_p2, bench_regression, bench_simulator);
+criterion_main!(benches);

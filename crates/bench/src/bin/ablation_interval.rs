@@ -1,0 +1,55 @@
+//! Ablation: the scheduling interval — how fast PCS reacts to interference
+//! changes versus how much monitoring/scheduling work it spends.
+//!
+//! Usage: `cargo run -p pcs-bench --bin ablation_interval --release`
+
+use pcs::controller::PcsController;
+use pcs::experiments::fig6::{self, Technique};
+use pcs::tables;
+use pcs_core::{MatrixConfig, SchedulerConfig};
+use pcs_sim::{BasicPolicy, SimConfig, Simulation};
+use pcs_types::{NodeCapacity, SimDuration};
+
+fn main() {
+    let topology = fig6::topology_for(Technique::Pcs, 100);
+    let models =
+        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let intervals_s = [1.0, 2.0, 5.0, 10.0, 20.0];
+    let rates = [200.0, 500.0];
+
+    println!("== Ablation: scheduling interval ==\n");
+    let header = vec![
+        "rate req/s".to_string(),
+        "interval s".to_string(),
+        "p99 component ms".to_string(),
+        "mean overall ms".to_string(),
+        "migrations".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for &interval in &intervals_s {
+            let seed = 62015u64.wrapping_add((rate as u64) << 8);
+            let mut config = SimConfig::paper_like(topology.clone(), rate, seed);
+            config.scheduler_interval = SimDuration::from_secs_f64(interval);
+            let controller = PcsController::new(
+                models.clone(),
+                SchedulerConfig {
+                    epsilon_secs: 1e-6,
+                    max_migrations: None,
+                    full_rebuild: false,
+                },
+                MatrixConfig::default(),
+            );
+            let report =
+                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            rows.push(vec![
+                tables::f(rate, 0),
+                tables::f(interval, 1),
+                tables::f(report.component_p99_ms(), 2),
+                tables::f(report.overall_mean_ms(), 2),
+                report.stats.migrations.to_string(),
+            ]);
+        }
+    }
+    println!("{}", tables::render(&header, &rows));
+}

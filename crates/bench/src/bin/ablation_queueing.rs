@@ -1,0 +1,57 @@
+//! Ablation: the Eq. 2 queueing term — general M/G/1 (observed SCV) vs
+//! the M/M/1 special case (SCV forced to 1, "when the service time follows
+//! the exponential distribution" per the paper).
+//!
+//! Usage: `cargo run -p pcs-bench --bin ablation_queueing --release`
+
+use pcs::controller::PcsController;
+use pcs::experiments::fig6::{self, Technique};
+use pcs::tables;
+use pcs_core::{MatrixConfig, SchedulerConfig};
+use pcs_sim::{BasicPolicy, SimConfig, Simulation};
+use pcs_types::NodeCapacity;
+
+fn main() {
+    let topology = fig6::topology_for(Technique::Pcs, 100);
+    let models =
+        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let rates = [50.0, 200.0, 500.0];
+
+    println!("== Ablation: M/G/1 (observed SCV) vs M/M/1 (SCV = 1) ==\n");
+    let header = vec![
+        "rate req/s".to_string(),
+        "queue model".to_string(),
+        "p99 component ms".to_string(),
+        "mean overall ms".to_string(),
+        "migrations".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for (label, scv_override) in [("M/G/1", None), ("M/M/1", Some(1.0))] {
+            let seed = 62015u64.wrapping_add((rate as u64) << 8);
+            let config = SimConfig::paper_like(topology.clone(), rate, seed);
+            let mut controller = PcsController::new(
+                models.clone(),
+                SchedulerConfig {
+                    epsilon_secs: 1e-6,
+                    max_migrations: None,
+                    full_rebuild: false,
+                },
+                MatrixConfig::default(),
+            );
+            if let Some(scv) = scv_override {
+                controller = controller.with_scv_override(scv);
+            }
+            let report =
+                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            rows.push(vec![
+                tables::f(rate, 0),
+                label.to_string(),
+                tables::f(report.component_p99_ms(), 2),
+                tables::f(report.overall_mean_ms(), 2),
+                report.stats.migrations.to_string(),
+            ]);
+        }
+    }
+    println!("{}", tables::render(&header, &rows));
+}

@@ -1,0 +1,47 @@
+//! Ablation: the migration threshold ε (paper §VI-C).
+//!
+//! The paper picks ε = 5 ms (5 % of the 100 ms acceptable latency) to
+//! throttle non-beneficial migrations. This sweep shows the trade-off in
+//! the reproduction: too high an ε blocks straggler evacuation, too low
+//! admits noise-driven churn.
+//!
+//! Usage: `cargo run -p pcs-bench --bin ablation_threshold --release`
+
+use pcs::controller::PcsController;
+use pcs::experiments::fig6::{self, Technique};
+use pcs::tables;
+use pcs_sim::SimConfig;
+use pcs_types::NodeCapacity;
+
+fn main() {
+    let topology = fig6::topology_for(Technique::Pcs, 100);
+    let models =
+        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let epsilons = [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3];
+    let rates = [50.0, 500.0];
+
+    println!("== Ablation: migration threshold ε ==\n");
+    let header = vec![
+        "rate req/s".to_string(),
+        "epsilon ms".to_string(),
+        "p99 component ms".to_string(),
+        "mean overall ms".to_string(),
+        "migrations".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for &eps in &epsilons {
+            let seed = 62015u64.wrapping_add((rate as u64) << 8);
+            let config = SimConfig::paper_like(topology.clone(), rate, seed);
+            let report = fig6::run_cell_with_epsilon(&config, Technique::Pcs, &models, eps);
+            rows.push(vec![
+                tables::f(rate, 0),
+                tables::f(eps * 1e3, 3),
+                tables::f(report.component_p99_ms(), 2),
+                tables::f(report.overall_mean_ms(), 2),
+                report.stats.migrations.to_string(),
+            ]);
+        }
+    }
+    println!("{}", tables::render(&header, &rows));
+}

@@ -1,0 +1,62 @@
+//! Ablation: Algorithm 1's line-7 tie-break (the migrated component's own
+//! latency reduction) and the tie tolerance that defines the tie set SL.
+//!
+//! With `tie_tolerance = 0`, floating-point gains almost never tie and the
+//! self-gain rule is inert; wider tolerances let the scheduler prefer true
+//! stragglers among near-equal overall gains (the situation of the paper's
+//! Figure 4 example).
+//!
+//! Usage: `cargo run -p pcs-bench --bin ablation_tiebreak --release`
+
+use pcs::controller::PcsController;
+use pcs::experiments::fig6::{self, Technique};
+use pcs::tables;
+use pcs_core::{MatrixConfig, SchedulerConfig};
+use pcs_sim::{BasicPolicy, SimConfig, Simulation};
+use pcs_types::NodeCapacity;
+
+fn main() {
+    let topology = fig6::topology_for(Technique::Pcs, 100);
+    let models =
+        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let tolerances = [0.0, 0.1, 0.25, 0.5];
+    let rates = [50.0, 500.0];
+
+    println!("== Ablation: tie tolerance / self-gain tie-break ==\n");
+    let header = vec![
+        "rate req/s".to_string(),
+        "tie tolerance".to_string(),
+        "p99 component ms".to_string(),
+        "mean overall ms".to_string(),
+        "migrations".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for &tol in &tolerances {
+            let seed = 62015u64.wrapping_add((rate as u64) << 8);
+            let config = SimConfig::paper_like(topology.clone(), rate, seed);
+            let controller = PcsController::new(
+                models.clone(),
+                SchedulerConfig {
+                    epsilon_secs: 1e-6,
+                    max_migrations: None,
+                    full_rebuild: false,
+                },
+                MatrixConfig {
+                    tie_tolerance: tol,
+                    ..MatrixConfig::default()
+                },
+            );
+            let report =
+                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            rows.push(vec![
+                tables::f(rate, 0),
+                tables::f(tol, 2),
+                tables::f(report.component_p99_ms(), 2),
+                tables::f(report.overall_mean_ms(), 2),
+                report.stats.migrations.to_string(),
+            ]);
+        }
+    }
+    println!("{}", tables::render(&header, &rows));
+}

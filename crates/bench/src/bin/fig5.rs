@@ -1,0 +1,53 @@
+//! Regenerates paper Figure 5: prediction errors of the performance model
+//! under different performance interferences.
+//!
+//! Usage: `cargo run -p pcs-bench --bin fig5 --release [seed]`
+
+use pcs::experiments::fig5::{self, Fig5Config};
+use pcs::tables;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20151511);
+    let result = fig5::run(Fig5Config {
+        seed,
+        ..Fig5Config::default()
+    });
+
+    println!("== Figure 5: performance-model prediction errors ==\n");
+    let header = vec![
+        "workload".to_string(),
+        "input MB".to_string(),
+        "predicted ms".to_string(),
+        "actual ms".to_string(),
+        "error %".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = result
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.name().to_string(),
+                tables::f(c.input_mb, 0),
+                tables::f(c.predicted_ms, 3),
+                tables::f(c.actual_ms, 3),
+                tables::f(c.error_pct, 2),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&header, &rows));
+
+    println!("cases: {}", result.cases.len());
+    println!(
+        "errors < 3% / 5% / 8%:   {:.2}% / {:.2}% / {:.2}%   (paper: 63.33% / 82.22% / 96.67%)",
+        result.buckets[0] * 100.0,
+        result.buckets[1] * 100.0,
+        result.buckets[2] * 100.0
+    );
+    println!(
+        "mean prediction error:   {:.2}%                      (paper: 2.68%)",
+        result.mean_error_pct
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates paper Figure 7: scalability of the scheduling algorithm —
+//! analysis (matrix construction) and searching (greedy + Algorithm 2)
+//! wall time as components and nodes grow.
+//!
+//! Usage: `cargo run -p pcs-bench --bin fig7 --release [repeats]`
+
+use pcs::experiments::fig7;
+use pcs::tables;
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let points = fig7::run(repeats, 72015);
+
+    println!("== Figure 7: scheduling-algorithm scalability ==\n");
+    let header = vec![
+        "components".to_string(),
+        "nodes".to_string(),
+        "analysis ms".to_string(),
+        "search ms".to_string(),
+        "total ms".to_string(),
+        "migrations".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.components.to_string(),
+                p.nodes.to_string(),
+                tables::f(p.analysis_ms, 2),
+                tables::f(p.search_ms, 2),
+                tables::f(p.total_ms(), 2),
+                p.migrations.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", tables::render(&header, &rows));
+    println!("(paper: 551 ms total at 640 components × 128 nodes, 2015 hardware)");
+}

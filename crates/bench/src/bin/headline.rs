@@ -1,0 +1,59 @@
+//! Computes the paper's §VI-C headline numbers from a Figure 6 sweep:
+//! PCS's average reduction of 99th-percentile component latency and mean
+//! overall service latency versus the four redundancy/reissue techniques.
+//!
+//! Usage: `cargo run -p pcs-bench --bin headline --release [seed]`
+
+use pcs::experiments::fig6::{self, Fig6Config, Technique};
+use pcs::tables;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(62015);
+    let config = Fig6Config {
+        seed,
+        ..Fig6Config::default()
+    };
+    let cells = fig6::run_sweep(&config);
+
+    println!("== Headline: PCS reduction vs each technique, per rate ==\n");
+    let header = vec![
+        "rate req/s".to_string(),
+        "vs technique".to_string(),
+        "tail reduction %".to_string(),
+        "overall reduction %".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for cell in &cells {
+        if !matches!(cell.technique, Technique::Red(_) | Technique::Ri(_)) {
+            continue;
+        }
+        let Some(pcs) = cells
+            .iter()
+            .find(|c| c.technique == Technique::Pcs && c.rate == cell.rate)
+        else {
+            continue;
+        };
+        let tail =
+            1.0 - pcs.report.component_latency.p99 / cell.report.component_latency.p99.max(1e-12);
+        let overall =
+            1.0 - pcs.report.overall_latency.mean / cell.report.overall_latency.mean.max(1e-12);
+        rows.push(vec![
+            tables::f(cell.rate, 0),
+            cell.technique.name(),
+            tables::f(tail * 100.0, 1),
+            tables::f(overall * 100.0, 1),
+        ]);
+    }
+    println!("{}", tables::render(&header, &rows));
+
+    let h = fig6::headline(&cells);
+    println!(
+        "mean over all rates and techniques: tail {:.2}%, overall {:.2}%",
+        h.tail_reduction * 100.0,
+        h.overall_reduction * 100.0
+    );
+    println!("(paper: 67.05% tail, 64.16% overall)");
+}

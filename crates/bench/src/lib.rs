@@ -1,0 +1,19 @@
+//! # pcs-bench
+//!
+//! Benchmark harness for the PCS reproduction: one binary per paper
+//! artefact (Figures 5–7 and the headline table) plus ablation binaries
+//! for the design choices DESIGN.md calls out, and Criterion micro-benches
+//! for the hot paths.
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `fig5` | Figure 5 — prediction-error distribution |
+//! | `fig6` | Figure 6 — six techniques × six arrival rates |
+//! | `fig7` | Figure 7 — scheduler scalability |
+//! | `headline` | §VI-C headline reductions |
+//! | `ablation_threshold` | migration-threshold ε sweep |
+//! | `ablation_tiebreak` | Algorithm 1 self-gain tie-break on/off |
+//! | `ablation_queueing` | M/G/1 vs M/M/1 latency term |
+//! | `ablation_interval` | scheduling-interval sweep |
+//! | `ablation_rebuild` | Algorithm 2 incremental vs full rebuild |
+#![warn(missing_docs)]

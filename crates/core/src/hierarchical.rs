@@ -1,0 +1,244 @@
+//! Hierarchical scheduling for very large services (paper §VI-D).
+//!
+//! *"For services with more components, the scheduler could apply a
+//! hierarchical strategy that divides the components into small groups of
+//! 640 components or less and finds the appropriate component-node
+//! allocation between groups and then within groups. The scheduling
+//! overhead therefore can remain low even with a large number of
+//! components."*
+//!
+//! [`HierarchicalScheduler`] implements that strategy: components are
+//! partitioned into groups of at most `group_cap`; the performance matrix
+//! is built once over the whole cluster, then the greedy loop runs per
+//! group (each group's components as the candidate set), with matrix state
+//! carried across groups so later groups see earlier groups' migrations.
+//! The per-iteration scan drops from O(m·k) to O(cap·k), bounding the
+//! search at O(m·cap·k) instead of O(m²·k).
+
+use crate::matrix::{MatrixConfig, PerformanceMatrix};
+use crate::predictor::ClassModelSet;
+use crate::scheduler::{ComponentScheduler, MigrationDecision, ScheduleOutcome, SchedulerConfig};
+use crate::MatrixInputs;
+use std::time::Instant;
+
+/// Greedy scheduling over component groups of bounded size.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalScheduler {
+    config: SchedulerConfig,
+    group_cap: usize,
+}
+
+impl HierarchicalScheduler {
+    /// Creates a hierarchical scheduler with the given per-group cap
+    /// (paper suggestion: 640).
+    ///
+    /// # Panics
+    /// Panics on a zero cap or invalid scheduler config.
+    pub fn new(config: SchedulerConfig, group_cap: usize) -> Self {
+        assert!(group_cap > 0, "group cap must be positive");
+        // Reuse ComponentScheduler's validation.
+        let _ = ComponentScheduler::new(config);
+        HierarchicalScheduler { config, group_cap }
+    }
+
+    /// The per-group component cap.
+    pub fn group_cap(&self) -> usize {
+        self.group_cap
+    }
+
+    /// Builds the matrix once and schedules group by group.
+    pub fn schedule(
+        &self,
+        inputs: &MatrixInputs,
+        models: &ClassModelSet,
+        matrix_config: MatrixConfig,
+    ) -> ScheduleOutcome {
+        let mut matrix = PerformanceMatrix::build(inputs, models, matrix_config);
+        self.run(&mut matrix)
+    }
+
+    /// Runs the grouped greedy loops on an existing matrix.
+    pub fn run(&self, matrix: &mut PerformanceMatrix) -> ScheduleOutcome {
+        let m = matrix.component_count();
+        let analysis_time = matrix.build_time();
+        let search_start = Instant::now();
+        let predicted_before = matrix.overall_latency();
+        let mut decisions: Vec<MigrationDecision> = Vec::new();
+        let mut iterations = 0usize;
+
+        // Groups are contiguous id ranges; components of one class are
+        // numbered together, so groups align with homogeneous blocks.
+        let mut start = 0usize;
+        while start < m {
+            let end = (start + self.group_cap).min(m);
+            let mut candidates = vec![false; m];
+            for slot in candidates.iter_mut().take(end).skip(start) {
+                *slot = true;
+            }
+            let mut remaining = end - start;
+            while remaining > 0 {
+                if let Some(cap) = self.config.max_migrations {
+                    if decisions.len() >= cap {
+                        break;
+                    }
+                }
+                iterations += 1;
+                let Some(best) = matrix.best_candidate(&candidates) else {
+                    break;
+                };
+                if best.gain <= self.config.epsilon_secs {
+                    break;
+                }
+                candidates[best.component.index()] = false;
+                remaining -= 1;
+                let from = matrix.apply_migration(best.component, best.destination, &candidates);
+                if self.config.full_rebuild {
+                    matrix.rebuild_entries();
+                }
+                decisions.push(MigrationDecision {
+                    component: best.component,
+                    from,
+                    to: best.destination,
+                    predicted_gain: best.gain,
+                    predicted_self_gain: best.self_gain,
+                });
+            }
+            start = end;
+        }
+
+        ScheduleOutcome {
+            decisions,
+            final_allocation: matrix.allocation().to_vec(),
+            predicted_before,
+            predicted_after: matrix.overall_latency(),
+            iterations,
+            analysis_time,
+            search_time: search_start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{ComponentInput, NodeInput};
+    use pcs_regression::{CombinedServiceTimeModel, SampleSet, TrainingConfig};
+    use pcs_types::{ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector};
+
+    fn linear_models() -> ClassModelSet {
+        let mut set = SampleSet::new();
+        for i in 0..60 {
+            let t = i as f64 / 30.0;
+            set.push(ContentionVector::new(t, 0.0, 0.0, 0.0), 0.001 * (1.0 + t));
+        }
+        ClassModelSet::new(vec![CombinedServiceTimeModel::train(
+            &set,
+            TrainingConfig::default(),
+        )
+        .unwrap()])
+    }
+
+    fn inputs(m: usize, k: usize) -> MatrixInputs {
+        let mut nodes: Vec<NodeInput> = (0..k)
+            .map(|j| NodeInput {
+                id: NodeId::from_index(j),
+                capacity: NodeCapacity::XEON_E5645,
+                demand: ResourceVector::new((j % 5) as f64 * 2.0, 0.0, 0.0, 0.0),
+                samples: vec![],
+            })
+            .collect();
+        let components = (0..m)
+            .map(|i| {
+                let node = NodeId::from_index(i % k);
+                let demand = ResourceVector::new(0.7, 0.0, 0.0, 0.0);
+                nodes[node.index()].demand += demand;
+                ComponentInput {
+                    id: ComponentId::from_index(i),
+                    class: 0,
+                    stage: 0,
+                    node,
+                    demand,
+                    arrival_rate: 50.0,
+                    scv: 1.0,
+                }
+            })
+            .collect();
+        MatrixInputs {
+            nodes,
+            components,
+            stage_count: 1,
+        }
+    }
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig {
+            epsilon_secs: 1e-6,
+            max_migrations: None,
+            full_rebuild: false,
+        }
+    }
+
+    #[test]
+    fn matches_flat_scheduler_when_under_cap() {
+        let models = linear_models();
+        let inputs = inputs(12, 6);
+        let flat = ComponentScheduler::new(config())
+            .schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 64)
+            .schedule(&inputs, &models, MatrixConfig::default());
+        assert_eq!(flat.decisions, hier.decisions);
+        assert_eq!(flat.final_allocation, hier.final_allocation);
+    }
+
+    #[test]
+    fn grouped_scheduling_still_improves() {
+        let models = linear_models();
+        let inputs = inputs(48, 8);
+        let hier = HierarchicalScheduler::new(config(), 16)
+            .schedule(&inputs, &models, MatrixConfig::default());
+        assert!(
+            !hier.decisions.is_empty(),
+            "imbalanced cluster must trigger migrations"
+        );
+        assert!(hier.predicted_after <= hier.predicted_before);
+        // No component migrates twice even across groups.
+        let mut seen = std::collections::HashSet::new();
+        for d in &hier.decisions {
+            assert!(seen.insert(d.component));
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_candidate_space() {
+        // With cap 10 over 25 components, decisions happen in group order:
+        // ids 0..10, then 10..20, then 20..25.
+        let models = linear_models();
+        let inputs = inputs(25, 5);
+        let hier = HierarchicalScheduler::new(config(), 10)
+            .schedule(&inputs, &models, MatrixConfig::default());
+        let mut last_group = 0;
+        for d in &hier.decisions {
+            let group = d.component.index() / 10;
+            assert!(
+                group >= last_group,
+                "group order violated: {:?}",
+                hier.decisions
+            );
+            last_group = group;
+        }
+    }
+
+    #[test]
+    fn hierarchical_is_cheaper_at_scale() {
+        // Not a strict timing assertion (CI noise), but the iteration count
+        // bound must hold: each group runs at most `cap` accepting
+        // iterations plus one rejecting probe.
+        let models = linear_models();
+        let inputs = inputs(200, 20);
+        let cap = 25;
+        let hier = HierarchicalScheduler::new(config(), cap)
+            .schedule(&inputs, &models, MatrixConfig::default());
+        let groups = 200usize.div_ceil(cap);
+        assert!(hier.iterations <= groups * (cap + 1));
+    }
+}

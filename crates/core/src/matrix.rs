@@ -1,0 +1,678 @@
+//! The performance matrix `L` (paper §IV-C).
+//!
+//! For `m` components on `k` nodes, `L[i][j]` is the predicted *reduction*
+//! in overall service latency if component `cᵢ` migrates from its current
+//! node to node `nⱼ` (Eq. 5: `L[i][j] = l_overall − l'_overall`). A
+//! migration perturbs contention vectors per Table III:
+//!
+//! | component                        | updated contention vector `U'` |
+//! |----------------------------------|--------------------------------|
+//! | `cᵢ` (the migrant)               | `U_nⱼ`                         |
+//! | any component on the origin node | `U − U_cᵢ`                     |
+//! | any component on the destination | `U + U_cᵢ`                     |
+//! | any other component              | `U`                            |
+//!
+//! Note the paper's asymmetry: the migrant's new vector is the
+//! destination's *pre-migration* aggregate (it does not contend with
+//! itself), while destination co-residents see the aggregate *plus* the
+//! migrant's demand. We implement Table III verbatim and keep the same
+//! convention when refreshing base latencies after an accepted migration
+//! (a component's monitored contention includes every program on its node,
+//! itself included — that is what `/proc`-level node monitoring reports).
+//!
+//! Contention arithmetic happens in absolute demand space
+//! ([`ResourceVector`]) and is normalised per destination node capacity, so
+//! heterogeneous clusters are handled correctly.
+
+use crate::inputs::MatrixInputs;
+use crate::predictor::{ClassModelSet, LatencyPredictor, PredictionMode};
+use crate::service::StageLatencyIndex;
+use pcs_queueing::SaturationPolicy;
+use pcs_types::{ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector};
+use std::time::{Duration, Instant};
+
+/// Matrix construction options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixConfig {
+    /// How latencies are predicted (mean-contention vs per-sample).
+    pub mode: PredictionMode,
+    /// Saturation handling for the M/G/1 term.
+    pub saturation: SaturationPolicy,
+    /// Relative tolerance for the Algorithm 1 line-6 tie set `SL`: entries
+    /// whose gain is within this fraction of the maximum count as tied and
+    /// are resolved by the line-7 self-gain tie-break.
+    ///
+    /// With a wide parallel stage the top entries' overall gains cluster
+    /// (several components straggle near the stage max, so removing any
+    /// one of them shaves nearly the same amount off Eq. 4); the paper's
+    /// worked example (Figure 4) shows exactly such a tie, resolved by the
+    /// migrated component's own latency reduction. A strictly-exact tie
+    /// test would almost never fire on floating-point values, so the tie
+    /// set is defined by this tolerance. 0 recovers exact ties.
+    pub tie_tolerance: f64,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            mode: PredictionMode::MeanContention,
+            saturation: SaturationPolicy::DEFAULT,
+            tie_tolerance: 0.25,
+        }
+    }
+}
+
+/// The best migration candidate found in the matrix (Algorithm 1 lines
+/// 6–8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestEntry {
+    /// Component to migrate (`c_max`).
+    pub component: ComponentId,
+    /// Destination node (`n_Destination`).
+    pub destination: NodeId,
+    /// Predicted overall-latency reduction `l_max = L[c_max][n_Dest]`.
+    pub gain: f64,
+    /// Predicted reduction of the migrant's own latency (the tie-breaker).
+    pub self_gain: f64,
+}
+
+/// Per-component scheduling state.
+#[derive(Debug, Clone)]
+struct CompState {
+    class: usize,
+    stage: usize,
+    demand: ResourceVector,
+    arrival_rate: f64,
+    scv: f64,
+}
+
+/// The m×k performance matrix with the state needed to maintain it.
+#[derive(Debug, Clone)]
+pub struct PerformanceMatrix {
+    config: MatrixConfig,
+    models: ClassModelSet,
+    caps: Vec<NodeCapacity>,
+    /// Aggregate demand per node (all resident programs); demand units.
+    node_demand: Vec<ResourceVector>,
+    /// Per-node contention sample windows (PerSample mode only).
+    node_samples: Vec<Vec<ContentionVector>>,
+    comps: Vec<CompState>,
+    /// `A[i]`: current hosting node per component.
+    allocation: Vec<NodeId>,
+    /// Residents per node (component ids).
+    node_components: Vec<Vec<ComponentId>>,
+    /// Predicted latency of each component at the current allocation.
+    base_latency: Vec<f64>,
+    /// Eq. 3/4 evaluation structure over `base_latency`.
+    index: StageLatencyIndex,
+    /// `L[i][j]`, row-major m×k.
+    gain: Vec<f64>,
+    /// Migrant's own latency reduction per entry, row-major m×k.
+    self_gain: Vec<f64>,
+    /// Wall-clock time spent in the initial full build ("analysis time").
+    build_time: Duration,
+}
+
+impl PerformanceMatrix {
+    /// Builds the matrix from monitored inputs and trained class models.
+    ///
+    /// This is the "analysis" phase of the paper's scalability discussion:
+    /// O(m·k) entries, each touching the residents of two nodes.
+    ///
+    /// # Panics
+    /// Panics on inconsistent inputs (see [`MatrixInputs::validate`]) or a
+    /// class index missing from `models`.
+    pub fn build(inputs: &MatrixInputs, models: &ClassModelSet, config: MatrixConfig) -> Self {
+        inputs.validate();
+        let start = Instant::now();
+        let m = inputs.component_count();
+        let k = inputs.node_count();
+
+        let caps: Vec<NodeCapacity> = inputs.nodes.iter().map(|n| n.capacity).collect();
+        let node_demand: Vec<ResourceVector> = inputs.nodes.iter().map(|n| n.demand).collect();
+        let node_samples: Vec<Vec<ContentionVector>> =
+            inputs.nodes.iter().map(|n| n.samples.clone()).collect();
+        let comps: Vec<CompState> = inputs
+            .components
+            .iter()
+            .map(|c| {
+                // Fail fast on unknown classes.
+                models
+                    .get(c.class)
+                    .unwrap_or_else(|e| panic!("component {}: {e}", c.id));
+                CompState {
+                    class: c.class,
+                    stage: c.stage,
+                    demand: c.demand,
+                    arrival_rate: c.arrival_rate,
+                    scv: c.scv,
+                }
+            })
+            .collect();
+        let allocation: Vec<NodeId> = inputs.components.iter().map(|c| c.node).collect();
+        let mut node_components: Vec<Vec<ComponentId>> = vec![Vec::new(); k];
+        for (i, c) in inputs.components.iter().enumerate() {
+            node_components[c.node.index()].push(ComponentId::from_index(i));
+        }
+
+        let mut matrix = PerformanceMatrix {
+            config,
+            models: models.clone(),
+            caps,
+            node_demand,
+            node_samples,
+            comps,
+            allocation,
+            node_components,
+            base_latency: vec![0.0; m],
+            // Placeholder; replaced right below once base latencies exist.
+            index: StageLatencyIndex::build(&vec![0.0; m.max(1)], &vec![0; m.max(1)], 1),
+            gain: vec![0.0; m * k],
+            self_gain: vec![0.0; m * k],
+            build_time: Duration::ZERO,
+        };
+        matrix.refresh_base_latencies(inputs.stage_count);
+        matrix.rebuild_entries();
+        matrix.build_time = start.elapsed();
+        matrix
+    }
+
+    /// Number of components `m`.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Number of nodes `k`.
+    pub fn node_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// `L[i][j]`: predicted overall-latency reduction (seconds) for
+    /// migrating component `i` to node `j`.
+    #[inline]
+    pub fn gain(&self, i: ComponentId, j: NodeId) -> f64 {
+        self.gain[i.index() * self.node_count() + j.index()]
+    }
+
+    /// The migrant's own predicted latency reduction for entry `(i, j)`.
+    #[inline]
+    pub fn self_gain(&self, i: ComponentId, j: NodeId) -> f64 {
+        self.self_gain[i.index() * self.node_count() + j.index()]
+    }
+
+    /// Current predicted overall service latency (Eq. 4), seconds.
+    pub fn overall_latency(&self) -> f64 {
+        self.index.overall()
+    }
+
+    /// Current predicted latency of one component, seconds.
+    pub fn component_latency(&self, i: ComponentId) -> f64 {
+        self.base_latency[i.index()]
+    }
+
+    /// Current component→node allocation (`A` in Algorithm 1).
+    pub fn allocation(&self) -> &[NodeId] {
+        &self.allocation
+    }
+
+    /// Aggregate demand currently attributed to a node.
+    pub fn node_demand(&self, j: NodeId) -> ResourceVector {
+        self.node_demand[j.index()]
+    }
+
+    /// Wall-clock time of the initial full matrix construction.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Finds the best migration per Algorithm 1 lines 6–7: build the set
+    /// `SL` of entries with the largest value (up to the configured tie
+    /// tolerance), then pick the entry in `SL` with the largest reduction
+    /// of the migrated component's own latency. Only rows whose component
+    /// is still a candidate are considered. Returns `None` if no candidate
+    /// entry has positive gain.
+    #[allow(clippy::needless_range_loop)] // parallel indexing of candidates and the gain matrix
+    pub fn best_candidate(&self, candidates: &[bool]) -> Option<BestEntry> {
+        assert_eq!(candidates.len(), self.component_count());
+        let k = self.node_count();
+        // Pass 1 (line 6): the largest entry value.
+        let mut max_gain = 0.0_f64;
+        for i in 0..self.component_count() {
+            if !candidates[i] {
+                continue;
+            }
+            for j in 0..k {
+                max_gain = max_gain.max(self.gain[i * k + j]);
+            }
+        }
+        if max_gain <= 0.0 {
+            return None;
+        }
+        // Pass 2 (line 7): among the tie set, the largest self-reduction.
+        let threshold = max_gain * (1.0 - self.config.tie_tolerance.clamp(0.0, 1.0));
+        let mut best: Option<BestEntry> = None;
+        for i in 0..self.component_count() {
+            if !candidates[i] {
+                continue;
+            }
+            for j in 0..k {
+                let gain = self.gain[i * k + j];
+                if gain < threshold || gain <= 0.0 {
+                    continue;
+                }
+                let entry = BestEntry {
+                    component: ComponentId::from_index(i),
+                    destination: NodeId::from_index(j),
+                    gain,
+                    self_gain: self.self_gain[i * k + j],
+                };
+                best = Some(match best {
+                    None => entry,
+                    Some(b) if entry.self_gain > b.self_gain => entry,
+                    Some(b) => b,
+                });
+            }
+        }
+        best
+    }
+
+    /// Applies an accepted migration (Algorithm 1 lines 10–13): moves the
+    /// component, refreshes the affected base latencies, and incrementally
+    /// updates the matrix per Algorithm 2. `candidates` marks components
+    /// still eligible for migration (rows of removed components are left
+    /// stale, exactly as the paper prescribes: "all the entries related to
+    /// c_cmax are not updated").
+    ///
+    /// Returns the origin node.
+    pub fn apply_migration(
+        &mut self,
+        i: ComponentId,
+        destination: NodeId,
+        candidates: &[bool],
+    ) -> NodeId {
+        let origin = self.allocation[i.index()];
+        assert_ne!(origin, destination, "migration must change the node");
+        let d_ci = self.comps[i.index()].demand;
+
+        // Move the component.
+        self.node_demand[origin.index()] =
+            self.node_demand[origin.index()].saturating_sub(&d_ci);
+        self.node_demand[destination.index()] += d_ci;
+        let residents = &mut self.node_components[origin.index()];
+        let pos = residents
+            .iter()
+            .position(|&c| c == i)
+            .expect("component resident on its allocation node");
+        residents.swap_remove(pos);
+        self.node_components[destination.index()].push(i);
+        self.allocation[i.index()] = destination;
+
+        // Refresh base latencies of every component on the two touched
+        // nodes (their monitored contention changed).
+        let mut changes: Vec<(ComponentId, f64)> = Vec::new();
+        for node in [origin, destination] {
+            let demand = self.node_demand[node.index()];
+            for &c in &self.node_components[node.index()] {
+                let lat = self.latency_for(c, node, demand);
+                self.base_latency[c.index()] = lat;
+                changes.push((c, lat));
+            }
+        }
+        self.index.apply(&changes);
+
+        self.update_matrix(origin, destination, candidates);
+        origin
+    }
+
+    /// Algorithm 2 (`UpdateMatrix`): after a migration from `origin` to
+    /// `destination`,
+    ///
+    /// 1. entries in the origin and destination *columns* are recomputed
+    ///    for every candidate row (components migrating onto those nodes
+    ///    see different contention now), and
+    /// 2. every candidate row whose component is hosted on the origin or
+    ///    destination node is recomputed in full (those components'
+    ///    current latencies — hence the gain of migrating them anywhere —
+    ///    changed).
+    #[allow(clippy::needless_range_loop)] // parallel indexing of candidates and allocation
+    fn update_matrix(&mut self, origin: NodeId, destination: NodeId, candidates: &[bool]) {
+        let m = self.component_count();
+        let mut rows_to_refresh: Vec<usize> = Vec::new();
+        for i in 0..m {
+            if !candidates[i] {
+                continue;
+            }
+            let ci = ComponentId::from_index(i);
+            self.recompute_entry(ci, origin);
+            self.recompute_entry(ci, destination);
+            let home = self.allocation[i];
+            if home == origin || home == destination {
+                rows_to_refresh.push(i);
+            }
+        }
+        let k = self.node_count();
+        for i in rows_to_refresh {
+            let ci = ComponentId::from_index(i);
+            for j in 0..k {
+                self.recompute_entry(ci, NodeId::from_index(j));
+            }
+        }
+    }
+
+    /// Recomputes every entry from current state (the naïve alternative to
+    /// Algorithm 2; used by the full-rebuild ablation and by tests).
+    pub fn rebuild_entries(&mut self) {
+        let m = self.component_count();
+        let k = self.node_count();
+        for i in 0..m {
+            for j in 0..k {
+                self.recompute_entry(ComponentId::from_index(i), NodeId::from_index(j));
+            }
+        }
+    }
+
+    /// Recomputes `L[i][j]` and the associated self-gain.
+    fn recompute_entry(&mut self, i: ComponentId, j: NodeId) {
+        let k = self.node_count();
+        let slot = i.index() * k + j.index();
+        let origin = self.allocation[i.index()];
+        if origin == j {
+            self.gain[slot] = 0.0;
+            self.self_gain[slot] = 0.0;
+            return;
+        }
+        let (gain, self_gain) = self.evaluate_migration(i, j);
+        self.gain[slot] = gain;
+        self.self_gain[slot] = self_gain;
+    }
+
+    /// Evaluates Eq. 5 for a candidate migration without mutating state.
+    fn evaluate_migration(&self, i: ComponentId, j: NodeId) -> (f64, f64) {
+        let origin = self.allocation[i.index()];
+        let d_ci = self.comps[i.index()].demand;
+
+        // Small per-entry override buffer: the migrant + residents of the
+        // two touched nodes.
+        let mut overrides: Vec<(ComponentId, f64)> = Vec::with_capacity(
+            1 + self.node_components[origin.index()].len()
+                + self.node_components[j.index()].len(),
+        );
+
+        // Migrant: Table III row 1 — experiences the destination's
+        // pre-migration aggregate.
+        let li_new = self.latency_for(i, j, self.node_demand[j.index()]);
+        overrides.push((i, li_new));
+
+        // Origin co-residents: Table III row 2 — `U − U_ci`.
+        let origin_demand = self.node_demand[origin.index()].saturating_sub(&d_ci);
+        for &c in &self.node_components[origin.index()] {
+            if c == i {
+                continue;
+            }
+            overrides.push((c, self.latency_for(c, origin, origin_demand)));
+        }
+
+        // Destination co-residents: Table III row 3 — `U + U_ci`.
+        let dest_demand = self.node_demand[j.index()] + d_ci;
+        for &c in &self.node_components[j.index()] {
+            overrides.push((c, self.latency_for(c, j, dest_demand)));
+        }
+
+        let l_overall_new = self.index.overall_with_overrides(&overrides);
+        let gain = self.index.overall() - l_overall_new;
+        let self_gain = self.base_latency[i.index()] - li_new;
+        (gain, self_gain)
+    }
+
+    /// Predicts component `c`'s latency if the aggregate demand of node
+    /// `node` were `demand` (Eq. 1 + Eq. 2).
+    fn latency_for(&self, c: ComponentId, node: NodeId, demand: ResourceVector) -> f64 {
+        let state = &self.comps[c.index()];
+        let cap = &self.caps[node.index()];
+        let mean_u = cap.normalize(&demand);
+        let predictor =
+            LatencyPredictor::new(&self.models, self.config.mode).with_saturation(self.config.saturation);
+        let breakdown = match self.config.mode {
+            PredictionMode::MeanContention => predictor
+                .latency(state.class, &mean_u, &[], state.arrival_rate, state.scv)
+                .expect("class validated at build time"),
+            PredictionMode::PerSample => {
+                // Shift the node's observed samples by the demand delta of
+                // this what-if (zero for the node's current state).
+                let delta = cap.normalize(&(demand - self.node_demand[node.index()]));
+                let shifted: Vec<ContentionVector> = self.node_samples[node.index()]
+                    .iter()
+                    .map(|s| {
+                        ContentionVector {
+                            core_usage: (s.core_usage + delta.core_usage).max(0.0),
+                            cache_mpki: (s.cache_mpki + delta.cache_mpki).max(0.0),
+                            disk_util: (s.disk_util + delta.disk_util).max(0.0),
+                            net_util: (s.net_util + delta.net_util).max(0.0),
+                        }
+                    })
+                    .collect();
+                predictor
+                    .latency(state.class, &mean_u, &shifted, state.arrival_rate, state.scv)
+                    .expect("class validated at build time")
+            }
+        };
+        breakdown.latency
+    }
+
+    /// Recomputes every base latency and the Eq. 3/4 index from scratch.
+    fn refresh_base_latencies(&mut self, stage_count: usize) {
+        let m = self.component_count();
+        for i in 0..m {
+            let c = ComponentId::from_index(i);
+            let node = self.allocation[i];
+            self.base_latency[i] = self.latency_for(c, node, self.node_demand[node.index()]);
+        }
+        let stages: Vec<usize> = self.comps.iter().map(|c| c.stage).collect();
+        self.index = StageLatencyIndex::build(&self.base_latency, &stages, stage_count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{ComponentInput, NodeInput};
+    use pcs_regression::{CombinedServiceTimeModel, SampleSet, TrainingConfig};
+
+    /// Trains a model where service time is 1 ms · (1 + core usage):
+    /// simple, exactly learnable, easy to reason about in assertions.
+    fn linear_model() -> ClassModelSet {
+        let mut set = SampleSet::new();
+        for i in 0..50 {
+            let t = i as f64 / 50.0 * 2.0;
+            set.push(
+                ContentionVector::new(t, 0.0, 0.0, 0.0),
+                0.001 * (1.0 + t),
+            );
+        }
+        let model = CombinedServiceTimeModel::train(&set, TrainingConfig::default()).unwrap();
+        ClassModelSet::new(vec![model])
+    }
+
+    /// Two nodes; node 0 is loaded (8 cores demanded), node 1 idle.
+    /// Two single-stage components, both on node 0, λ = 0 (pure service
+    /// time — no queueing) so assertions are exact.
+    fn two_node_inputs() -> MatrixInputs {
+        let comp_demand = ResourceVector::new(1.0, 0.0, 0.0, 0.0);
+        MatrixInputs {
+            nodes: vec![
+                NodeInput {
+                    id: NodeId::new(0),
+                    capacity: NodeCapacity::new(12.0, 200.0, 125.0),
+                    demand: ResourceVector::new(8.0, 0.0, 0.0, 0.0),
+                    samples: vec![],
+                },
+                NodeInput {
+                    id: NodeId::new(1),
+                    capacity: NodeCapacity::new(12.0, 200.0, 125.0),
+                    demand: ResourceVector::ZERO,
+                    samples: vec![],
+                },
+            ],
+            components: vec![
+                ComponentInput {
+                    id: ComponentId::new(0),
+                    class: 0,
+                    stage: 0,
+                    node: NodeId::new(0),
+                    demand: comp_demand,
+                    arrival_rate: 0.0,
+                    scv: 1.0,
+                },
+                ComponentInput {
+                    id: ComponentId::new(1),
+                    class: 0,
+                    stage: 0,
+                    node: NodeId::new(0),
+                    demand: comp_demand,
+                    arrival_rate: 0.0,
+                    scv: 1.0,
+                },
+            ],
+            stage_count: 1,
+        }
+    }
+
+    #[test]
+    fn base_latency_reflects_node_load() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        // Node 0 usage: 8/12 = 0.667 → x = 1ms · 1.667.
+        let expected = 0.001 * (1.0 + 8.0 / 12.0);
+        let got = m.component_latency(ComponentId::new(0));
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "got {got}, expected ~{expected}"
+        );
+        // Single stage, two components → overall = max of the two.
+        assert!((m.overall_latency() - got.max(m.component_latency(ComponentId::new(1)))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_to_idle_node_has_positive_gain() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let gain = m.gain(ComponentId::new(0), NodeId::new(1));
+        // Migrant latency at idle node: 1ms (usage 0, Table III: U_nj).
+        // But the stage max is the *other* component, which improves to
+        // 1ms·(1 + 7/12). Overall drops from 1.667ms to ~1.583ms.
+        let before = 0.001 * (1.0 + 8.0 / 12.0);
+        let after = 0.001 * (1.0 + 7.0 / 12.0);
+        assert!(
+            (gain - (before - after)).abs() < 1e-5,
+            "gain {gain}, expected ~{}",
+            before - after
+        );
+        assert!(gain > 0.0);
+    }
+
+    #[test]
+    fn self_column_is_zero() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        assert_eq!(m.gain(ComponentId::new(0), NodeId::new(0)), 0.0);
+        assert_eq!(m.self_gain(ComponentId::new(1), NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn self_gain_is_migrants_own_reduction() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let sg = m.self_gain(ComponentId::new(0), NodeId::new(1));
+        // Own latency: 1.667ms on node 0 → 1.0ms on idle node 1 (U_nj = 0).
+        let expected = 0.001 * (8.0 / 12.0);
+        assert!((sg - expected).abs() < 1e-5, "self gain {sg}");
+    }
+
+    #[test]
+    fn apply_migration_moves_demand_and_updates_state() {
+        let models = linear_model();
+        let mut m =
+            PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let candidates = vec![true, true];
+        let before_overall = m.overall_latency();
+        let origin = m.apply_migration(ComponentId::new(0), NodeId::new(1), &candidates);
+        assert_eq!(origin, NodeId::new(0));
+        assert_eq!(m.allocation()[0], NodeId::new(1));
+        assert!((m.node_demand(NodeId::new(0)).cores - 7.0).abs() < 1e-12);
+        assert!((m.node_demand(NodeId::new(1)).cores - 1.0).abs() < 1e-12);
+        assert!(
+            m.overall_latency() < before_overall,
+            "overall latency must improve after a positive-gain migration"
+        );
+        // Post-migration, the migrant's base latency includes its own
+        // demand on the destination (monitored semantics).
+        let expected = 0.001 * (1.0 + 1.0 / 12.0);
+        let got = m.component_latency(ComponentId::new(0));
+        assert!((got - expected).abs() < 1e-5, "got {got}");
+    }
+
+    #[test]
+    fn update_matrix_matches_full_rebuild_on_touched_entries() {
+        let models = linear_model();
+        let mut incremental =
+            PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let candidates = vec![false, true]; // component 0 gets migrated
+        incremental.apply_migration(ComponentId::new(0), NodeId::new(1), &candidates);
+
+        let mut rebuilt = incremental.clone();
+        rebuilt.rebuild_entries();
+
+        // Candidate rows and touched columns must agree exactly.
+        for j in 0..2 {
+            let jn = NodeId::from_index(j);
+            assert!(
+                (incremental.gain(ComponentId::new(1), jn) - rebuilt.gain(ComponentId::new(1), jn))
+                    .abs()
+                    < 1e-15,
+                "candidate row must be fresh after UpdateMatrix"
+            );
+        }
+    }
+
+    #[test]
+    fn best_candidate_prefers_larger_gain() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let best = m.best_candidate(&[true, true]).unwrap();
+        assert_eq!(best.destination, NodeId::new(1));
+        assert!(best.gain > 0.0);
+    }
+
+    #[test]
+    fn best_candidate_respects_candidate_mask() {
+        let models = linear_model();
+        let m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let best = m.best_candidate(&[false, true]).unwrap();
+        assert_eq!(best.component, ComponentId::new(1));
+        assert!(m.best_candidate(&[false, false]).is_none());
+    }
+
+    #[test]
+    fn per_sample_mode_builds_and_agrees_on_means() {
+        let models = linear_model();
+        let mut inputs = two_node_inputs();
+        // Constant samples equal to the node mean → PerSample adds zero
+        // contention variance and must agree with MeanContention.
+        inputs.nodes[0].samples =
+            vec![ContentionVector::new(8.0 / 12.0, 0.0, 0.0, 0.0); 10];
+        inputs.nodes[1].samples = vec![ContentionVector::ZERO; 10];
+        let cfg_mean = MatrixConfig::default();
+        let cfg_ps = MatrixConfig {
+            mode: PredictionMode::PerSample,
+            ..MatrixConfig::default()
+        };
+        let a = PerformanceMatrix::build(&inputs, &models, cfg_mean);
+        let b = PerformanceMatrix::build(&inputs, &models, cfg_ps);
+        let g1 = a.gain(ComponentId::new(0), NodeId::new(1));
+        let g2 = b.gain(ComponentId::new(0), NodeId::new(1));
+        assert!(
+            (g1 - g2).abs() < 1e-9,
+            "constant samples must reproduce mean-contention gains: {g1} vs {g2}"
+        );
+    }
+}

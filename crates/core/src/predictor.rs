@@ -1,0 +1,258 @@
+//! The performance predictor: Eq. 1 (service time) composed with Eq. 2
+//! (M/G/1 latency).
+//!
+//! One regression model is trained per component *class* — paper §VI-D:
+//! "only one out of all homogeneous components needs to be profiled" — and
+//! shared by every component of that class. The predictor then maps a
+//! component's monitored contention and arrival rate to an expected
+//! latency.
+//!
+//! ## Variance estimation modes
+//!
+//! Eq. 2 needs the mean *and* variance of the service time over the
+//! scheduling interval. The paper derives both from the interval's
+//! contention samples: "a set of resource contention vectors can be
+//! collected for each component. By substituting them into Equation 1, the
+//! component's corresponding service time x can be estimated, so its mean
+//! and variance can be calculated" (§IV-B). [`PredictionMode::PerSample`]
+//! implements that faithfully. [`PredictionMode::MeanContention`] is the
+//! fast variant — one regression evaluation on the mean contention vector,
+//! with the SCV taken from the component snapshot — used where the matrix
+//! must be cheap (it is what lets the 640×128 Figure 7 configuration run
+//! in sub-second time, matching the paper's reported scalability). An
+//! ablation bench compares the two.
+
+use pcs_queueing::{Mg1, Moments, SaturationPolicy};
+use pcs_regression::CombinedServiceTimeModel;
+use pcs_types::{ContentionVector, PcsError};
+
+/// How the predictor turns an interval's contention into Eq. 2 inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictionMode {
+    /// One regression evaluation on the mean contention vector; SCV from
+    /// the component snapshot. Fast; the default for matrix construction.
+    #[default]
+    MeanContention,
+    /// Map every contention sample through Eq. 1 and take the mean and
+    /// variance of the predicted service times (paper §IV-B verbatim).
+    /// Falls back to [`PredictionMode::MeanContention`] when no samples
+    /// are available.
+    PerSample,
+}
+
+/// The trained Eq. 1 models, one per component class.
+#[derive(Debug, Clone)]
+pub struct ClassModelSet {
+    models: Vec<CombinedServiceTimeModel>,
+}
+
+impl ClassModelSet {
+    /// Wraps per-class models (index = class index).
+    pub fn new(models: Vec<CombinedServiceTimeModel>) -> Self {
+        assert!(!models.is_empty(), "need at least one class model");
+        ClassModelSet { models }
+    }
+
+    /// The model for a class.
+    ///
+    /// # Errors
+    /// Returns [`PcsError::UnknownEntity`] for an out-of-range class.
+    pub fn get(&self, class: usize) -> Result<&CombinedServiceTimeModel, PcsError> {
+        self.models.get(class).ok_or(PcsError::UnknownEntity {
+            kind: "component class",
+            id: class as u32,
+        })
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True if the set is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Composes Eq. 1 and Eq. 2 into a latency predictor.
+#[derive(Debug, Clone)]
+pub struct LatencyPredictor<'m> {
+    models: &'m ClassModelSet,
+    mode: PredictionMode,
+    saturation: SaturationPolicy,
+}
+
+/// A predicted component latency with its intermediate quantities, useful
+/// for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Predicted mean service time x̄ (seconds).
+    pub service_time: f64,
+    /// SCV used in Eq. 2.
+    pub scv: f64,
+    /// Predicted latency (seconds).
+    pub latency: f64,
+    /// Server utilisation ρ.
+    pub utilization: f64,
+    /// Whether the saturation continuation was used.
+    pub saturated: bool,
+}
+
+impl<'m> LatencyPredictor<'m> {
+    /// Creates a predictor over a trained model set.
+    pub fn new(models: &'m ClassModelSet, mode: PredictionMode) -> Self {
+        LatencyPredictor {
+            models,
+            mode,
+            saturation: SaturationPolicy::DEFAULT,
+        }
+    }
+
+    /// Overrides the saturation policy (default: knee at ρ = 0.995).
+    #[must_use]
+    pub fn with_saturation(mut self, policy: SaturationPolicy) -> Self {
+        self.saturation = policy;
+        self
+    }
+
+    /// The prediction mode.
+    pub fn mode(&self) -> PredictionMode {
+        self.mode
+    }
+
+    /// Predicts the mean service time for a class under a contention
+    /// vector (Eq. 1), clamped to be non-negative.
+    pub fn service_time(&self, class: usize, u: &ContentionVector) -> Result<f64, PcsError> {
+        Ok(self.models.get(class)?.predict_clamped(u))
+    }
+
+    /// Predicts a component's expected latency (Eq. 2).
+    ///
+    /// * `mean_u` — the interval's mean contention vector;
+    /// * `samples` — the interval's per-sample contention vectors (used in
+    ///   [`PredictionMode::PerSample`]; may be empty);
+    /// * `arrival_rate` — monitored λ (req/s);
+    /// * `fallback_scv` — SCV used in [`PredictionMode::MeanContention`]
+    ///   or when no samples exist.
+    pub fn latency(
+        &self,
+        class: usize,
+        mean_u: &ContentionVector,
+        samples: &[ContentionVector],
+        arrival_rate: f64,
+        fallback_scv: f64,
+    ) -> Result<LatencyBreakdown, PcsError> {
+        let model = self.models.get(class)?;
+        let (xbar, scv) = match self.mode {
+            PredictionMode::PerSample if !samples.is_empty() => {
+                let mut moments = Moments::new();
+                for s in samples {
+                    moments.push(model.predict_clamped(s));
+                }
+                // The per-sample variance captures contention variability;
+                // the component's intrinsic variability (fallback SCV) adds
+                // on top. Variances of independent effects add, so SCVs
+                // combine as: scv_total ≈ scv_contention + scv_intrinsic.
+                (moments.mean(), moments.scv() + fallback_scv)
+            }
+            _ => (model.predict_clamped(mean_u), fallback_scv),
+        };
+        let est = Mg1::new(arrival_rate, xbar, scv).estimate_with(self.saturation);
+        Ok(LatencyBreakdown {
+            service_time: xbar,
+            scv,
+            latency: est.latency,
+            utilization: est.utilization,
+            saturated: est.saturated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_regression::{SampleSet, TrainingConfig};
+
+    /// Trains a model on a linear ground truth x = 0.001·(1 + core usage).
+    fn linear_models() -> ClassModelSet {
+        let mut set = SampleSet::new();
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            let u = ContentionVector::new(t, 10.0 * t, 0.5 * t, 0.25 * t);
+            set.push(u, 0.001 * (1.0 + t));
+        }
+        let model = CombinedServiceTimeModel::train(&set, TrainingConfig::default()).unwrap();
+        ClassModelSet::new(vec![model])
+    }
+
+    #[test]
+    fn service_time_tracks_contention() {
+        let models = linear_models();
+        let p = LatencyPredictor::new(&models, PredictionMode::MeanContention);
+        let idle = p
+            .service_time(0, &ContentionVector::ZERO)
+            .unwrap();
+        let busy = p
+            .service_time(0, &ContentionVector::new(0.8, 8.0, 0.4, 0.2))
+            .unwrap();
+        assert!(busy > idle, "contention must inflate predicted service time");
+        assert!((idle - 0.001).abs() < 1e-4);
+    }
+
+    #[test]
+    fn latency_includes_queueing_delay() {
+        let models = linear_models();
+        let p = LatencyPredictor::new(&models, PredictionMode::MeanContention);
+        let u = ContentionVector::new(0.5, 5.0, 0.25, 0.125);
+        let light = p.latency(0, &u, &[], 10.0, 1.0).unwrap();
+        let heavy = p.latency(0, &u, &[], 500.0, 1.0).unwrap();
+        assert!(heavy.latency > light.latency);
+        assert!(heavy.utilization > light.utilization);
+        assert!(light.latency >= light.service_time);
+    }
+
+    #[test]
+    fn per_sample_mode_accounts_for_contention_variability() {
+        let models = linear_models();
+        let steady = [ContentionVector::new(0.5, 5.0, 0.25, 0.125); 16];
+        let mut varying = Vec::new();
+        for i in 0..16 {
+            let t = if i % 2 == 0 { 0.1 } else { 0.9 };
+            varying.push(ContentionVector::new(t, 10.0 * t, 0.5 * t, 0.25 * t));
+        }
+        let p = LatencyPredictor::new(&models, PredictionMode::PerSample);
+        let mean_u = ContentionVector::new(0.5, 5.0, 0.25, 0.125);
+        let steady_pred = p.latency(0, &mean_u, &steady, 300.0, 0.0).unwrap();
+        let varying_pred = p.latency(0, &mean_u, &varying, 300.0, 0.0).unwrap();
+        assert!(
+            varying_pred.scv > steady_pred.scv,
+            "oscillating contention must raise the predicted SCV"
+        );
+        assert!(
+            varying_pred.latency > steady_pred.latency,
+            "higher variability must predict higher latency at equal mean"
+        );
+    }
+
+    #[test]
+    fn per_sample_falls_back_without_samples() {
+        let models = linear_models();
+        let p = LatencyPredictor::new(&models, PredictionMode::PerSample);
+        let u = ContentionVector::new(0.5, 5.0, 0.25, 0.125);
+        let a = p.latency(0, &u, &[], 100.0, 1.0).unwrap();
+        let q = LatencyPredictor::new(&models, PredictionMode::MeanContention);
+        let b = q.latency(0, &u, &[], 100.0, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let models = linear_models();
+        let p = LatencyPredictor::new(&models, PredictionMode::MeanContention);
+        assert!(matches!(
+            p.service_time(9, &ContentionVector::ZERO),
+            Err(PcsError::UnknownEntity { .. })
+        ));
+    }
+}

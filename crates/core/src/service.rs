@@ -1,0 +1,281 @@
+//! Stage and overall service latency (paper Eq. 3 and Eq. 4), with
+//! efficient "what-if" evaluation under component-latency overrides.
+//!
+//! ```text
+//! l_stage   = max_{1≤i≤C} { l_i }          (Eq. 3)
+//! l_overall = Σ_{j=1..S}  l_stage_j        (Eq. 4)
+//! ```
+//!
+//! The performance matrix evaluates `l'_overall` for every candidate
+//! migration; each evaluation perturbs only a handful of component
+//! latencies (the migrant plus the co-residents of the origin and
+//! destination nodes — Table III). [`StageLatencyIndex`] keeps each
+//! stage's latencies sorted so a what-if evaluation costs
+//! O(overrides + stages) instead of O(m).
+
+use pcs_types::ComponentId;
+
+/// Per-stage sorted latency index supporting override evaluation.
+#[derive(Debug, Clone)]
+pub struct StageLatencyIndex {
+    /// For each stage: `(latency_secs, component)` sorted descending.
+    stages: Vec<Vec<(f64, ComponentId)>>,
+    /// Component → stage.
+    stage_of: Vec<usize>,
+    /// Cached Σ of stage maxima (the current `l_overall`).
+    overall: f64,
+}
+
+impl StageLatencyIndex {
+    /// Builds the index from per-component latencies and stage assignments.
+    ///
+    /// `latencies[i]` and `stage_of[i]` describe component `i`;
+    /// `stage_count` is the number of sequential stages.
+    ///
+    /// # Panics
+    /// Panics if a stage index is out of range, inputs differ in length,
+    /// or any stage ends up empty.
+    pub fn build(latencies: &[f64], stage_of: &[usize], stage_count: usize) -> Self {
+        assert_eq!(latencies.len(), stage_of.len(), "length mismatch");
+        assert!(stage_count > 0, "need at least one stage");
+        let mut stages: Vec<Vec<(f64, ComponentId)>> = vec![Vec::new(); stage_count];
+        for (i, (&lat, &st)) in latencies.iter().zip(stage_of).enumerate() {
+            assert!(st < stage_count, "component {i} has out-of-range stage {st}");
+            assert!(
+                lat.is_finite() && lat >= 0.0,
+                "component {i} has invalid latency {lat}"
+            );
+            stages[st].push((lat, ComponentId::from_index(i)));
+        }
+        for (si, s) in stages.iter_mut().enumerate() {
+            assert!(!s.is_empty(), "stage {si} has no components");
+            s.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        let overall = stages.iter().map(|s| s[0].0).sum();
+        StageLatencyIndex {
+            stages,
+            stage_of: stage_of.to_vec(),
+            overall,
+        }
+    }
+
+    /// The current overall latency `l_overall` (Eq. 4), seconds.
+    #[inline]
+    pub fn overall(&self) -> f64 {
+        self.overall
+    }
+
+    /// The current latency of stage `s` (Eq. 3), seconds.
+    pub fn stage_latency(&self, s: usize) -> f64 {
+        self.stages[s][0].0
+    }
+
+    /// The current latency of component `c`, seconds.
+    pub fn component_latency(&self, c: ComponentId) -> f64 {
+        let stage = &self.stages[self.stage_of[c.index()]];
+        stage
+            .iter()
+            .find(|(_, id)| *id == c)
+            .map(|(l, _)| *l)
+            .expect("component present in its stage")
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Evaluates `l'_overall` (Eq. 4) as if the components in `overrides`
+    /// had the given latencies, without mutating the index.
+    ///
+    /// `overrides` is a small slice of `(component, new_latency)` pairs; a
+    /// component may appear at most once (the first occurrence wins).
+    /// Cost is O(overrides²) — independent of the number of stages and
+    /// components, which is what keeps matrix construction at the paper's
+    /// O(m·k) (an entry evaluation only perturbs the residents of two
+    /// nodes).
+    pub fn overall_with_overrides(&self, overrides: &[(ComponentId, f64)]) -> f64 {
+        // Start from the cached Eq. 4 total and adjust only the stages an
+        // override touches.
+        let mut total = self.overall;
+        // Small dedup of touched stages (overrides are ~a dozen entries).
+        let mut touched: Vec<usize> = Vec::with_capacity(overrides.len());
+        for &(c, _) in overrides {
+            let si = self.stage_of[c.index()];
+            if !touched.contains(&si) {
+                touched.push(si);
+            }
+        }
+        for &si in &touched {
+            let stage = &self.stages[si];
+            let old_max = stage[0].0;
+            // Highest unaffected latency in this stage: walk the sorted
+            // list and skip overridden components. Overrides are few, so
+            // the scan almost always stops within a couple of elements.
+            let mut unaffected = 0.0;
+            for &(lat, id) in stage {
+                if !overrides.iter().any(|(oc, _)| *oc == id) {
+                    unaffected = lat;
+                    break;
+                }
+            }
+            // Highest override belonging to this stage.
+            let mut new_max = unaffected;
+            for &(oc, lat) in overrides {
+                if self.stage_of[oc.index()] == si {
+                    new_max = new_max.max(lat);
+                }
+            }
+            total += new_max - old_max;
+        }
+        total
+    }
+
+    /// Applies latency changes permanently (after a migration is accepted)
+    /// and refreshes the cached overall latency.
+    pub fn apply(&mut self, changes: &[(ComponentId, f64)]) {
+        for &(c, lat) in changes {
+            assert!(
+                lat.is_finite() && lat >= 0.0,
+                "invalid latency {lat} for {c}"
+            );
+            let stage = &mut self.stages[self.stage_of[c.index()]];
+            if let Some(slot) = stage.iter_mut().find(|(_, id)| *id == c) {
+                slot.0 = lat;
+            }
+        }
+        // Re-sort only the touched stages.
+        let mut touched: Vec<usize> = changes
+            .iter()
+            .map(|(c, _)| self.stage_of[c.index()])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for si in touched {
+            self.stages[si].sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        self.overall = self.stages.iter().map(|s| s[0].0).sum();
+    }
+
+    /// All component latencies as a dense vector (index = component id).
+    pub fn latencies(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.stage_of.len()];
+        for stage in &self.stages {
+            for &(lat, id) in stage {
+                out[id.index()] = lat;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> ComponentId {
+        ComponentId::from_index(i)
+    }
+
+    /// Paper Figure 3 example: a 3-stage service, stage 2 parallelised
+    /// into two components. Latencies in ms: l1=2, l2=30, l3=25, l4=10.
+    /// Stage maxima: 2, max(30,25)=30, 10 → overall 42 ... the figure uses
+    /// 57 with different numbers; we just need Eq. 3/4 semantics here.
+    fn figure_like_index() -> StageLatencyIndex {
+        StageLatencyIndex::build(&[0.002, 0.030, 0.025, 0.010], &[0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn overall_is_sum_of_stage_maxima() {
+        let idx = figure_like_index();
+        assert!((idx.stage_latency(0) - 0.002).abs() < 1e-15);
+        assert!((idx.stage_latency(1) - 0.030).abs() < 1e-15);
+        assert!((idx.stage_latency(2) - 0.010).abs() < 1e-15);
+        assert!((idx.overall() - 0.042).abs() < 1e-15);
+    }
+
+    #[test]
+    fn component_latency_lookup() {
+        let idx = figure_like_index();
+        assert!((idx.component_latency(c(2)) - 0.025).abs() < 1e-15);
+    }
+
+    #[test]
+    fn override_of_non_max_component_below_max_changes_nothing() {
+        let idx = figure_like_index();
+        // c2 (25ms) rises to 28ms: still below c1's 30ms.
+        let got = idx.overall_with_overrides(&[(c(2), 0.028)]);
+        assert!((got - 0.042).abs() < 1e-15);
+    }
+
+    #[test]
+    fn override_becoming_new_max_raises_stage() {
+        let idx = figure_like_index();
+        // c2 rises to 40ms and becomes the stage max.
+        let got = idx.overall_with_overrides(&[(c(2), 0.040)]);
+        assert!((got - 0.052).abs() < 1e-15);
+    }
+
+    #[test]
+    fn override_of_max_component_falls_to_second() {
+        let idx = figure_like_index();
+        // c1 (30ms max) drops to 1ms; stage max becomes c2's 25ms.
+        let got = idx.overall_with_overrides(&[(c(1), 0.001)]);
+        assert!((got - 0.037).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiple_overrides_across_stages() {
+        let idx = figure_like_index();
+        // c0: 2→5ms; c1: 30→10ms (stage max now c2 at 25); c3: 10→20ms.
+        let got = idx.overall_with_overrides(&[(c(0), 0.005), (c(1), 0.010), (c(3), 0.020)]);
+        assert!((got - (0.005 + 0.025 + 0.020)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overrides_do_not_mutate() {
+        let idx = figure_like_index();
+        let _ = idx.overall_with_overrides(&[(c(1), 0.999)]);
+        assert!((idx.overall() - 0.042).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_updates_and_resorts() {
+        let mut idx = figure_like_index();
+        idx.apply(&[(c(1), 0.001)]);
+        assert!((idx.overall() - 0.037).abs() < 1e-15);
+        assert!((idx.stage_latency(1) - 0.025).abs() < 1e-15);
+        // Applying again keeps consistency.
+        idx.apply(&[(c(2), 0.0005)]);
+        assert!((idx.stage_latency(1) - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_then_override_composes() {
+        let mut idx = figure_like_index();
+        idx.apply(&[(c(1), 0.020)]);
+        let got = idx.overall_with_overrides(&[(c(2), 0.001)]);
+        // Stage 1 max: c1 at 20ms (c2 overridden to 1ms).
+        assert!((got - (0.002 + 0.020 + 0.010)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn whole_stage_overridden() {
+        let idx = figure_like_index();
+        // Both stage-1 components overridden.
+        let got = idx.overall_with_overrides(&[(c(1), 0.003), (c(2), 0.004)]);
+        assert!((got - (0.002 + 0.004 + 0.010)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn latencies_round_trip() {
+        let idx = figure_like_index();
+        assert_eq!(idx.latencies(), vec![0.002, 0.030, 0.025, 0.010]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage 1 has no components")]
+    fn empty_stage_rejected() {
+        let _ = StageLatencyIndex::build(&[0.1], &[0], 2);
+    }
+}

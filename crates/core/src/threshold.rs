@@ -1,0 +1,112 @@
+//! Migration-threshold policies.
+//!
+//! The paper fixes ε = 5 ms after observing that it is 5 % of the service's
+//! 100 ms acceptable overall latency, and notes: *"Applying an adaptive
+//! threshold to improve the service performance is possible, but it is
+//! beyond the scope of this paper."* This module provides both: the fixed
+//! threshold used everywhere in the paper, and the adaptive
+//! fraction-of-current-latency policy the paper leaves as future work.
+
+/// How the migration threshold ε is chosen at each scheduling interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// A constant ε in seconds (the paper's 5 ms).
+    Fixed(f64),
+    /// ε = `fraction` × the interval's predicted overall latency, never
+    /// below `floor_secs`. Tracks the paper's own justification (5 % of
+    /// the accepted overall latency) as load and latency change.
+    FractionOfOverall {
+        /// Fraction of the predicted overall latency (paper ratio: 0.05).
+        fraction: f64,
+        /// Lower bound on ε, in seconds (guards against near-zero
+        /// latencies producing a threshold that admits pure noise).
+        floor_secs: f64,
+    },
+}
+
+impl ThresholdPolicy {
+    /// The paper's fixed 5 ms threshold.
+    pub const PAPER: ThresholdPolicy = ThresholdPolicy::Fixed(0.005);
+
+    /// Resolves ε for an interval whose predicted overall latency is
+    /// `predicted_overall_secs`.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (negative fraction/floor, non-finite
+    /// fixed value).
+    pub fn resolve(&self, predicted_overall_secs: f64) -> f64 {
+        match *self {
+            ThresholdPolicy::Fixed(eps) => {
+                assert!(
+                    eps.is_finite() && eps >= 0.0,
+                    "fixed threshold must be finite and non-negative"
+                );
+                eps
+            }
+            ThresholdPolicy::FractionOfOverall {
+                fraction,
+                floor_secs,
+            } => {
+                assert!(
+                    fraction.is_finite() && fraction >= 0.0,
+                    "threshold fraction must be finite and non-negative"
+                );
+                assert!(
+                    floor_secs.is_finite() && floor_secs >= 0.0,
+                    "threshold floor must be finite and non-negative"
+                );
+                (fraction * predicted_overall_secs.max(0.0)).max(floor_secs)
+            }
+        }
+    }
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_latency() {
+        let p = ThresholdPolicy::Fixed(0.005);
+        assert_eq!(p.resolve(0.010), 0.005);
+        assert_eq!(p.resolve(10.0), 0.005);
+    }
+
+    #[test]
+    fn adaptive_scales_with_latency() {
+        let p = ThresholdPolicy::FractionOfOverall {
+            fraction: 0.05,
+            floor_secs: 0.0001,
+        };
+        // 5% of 100 ms = the paper's 5 ms.
+        assert!((p.resolve(0.100) - 0.005).abs() < 1e-12);
+        // 5% of 4 ms = 0.2 ms.
+        assert!((p.resolve(0.004) - 0.0002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_respects_floor() {
+        let p = ThresholdPolicy::FractionOfOverall {
+            fraction: 0.05,
+            floor_secs: 0.001,
+        };
+        assert_eq!(p.resolve(0.0), 0.001);
+        assert_eq!(p.resolve(0.002), 0.001, "5% of 2 ms is below the floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn negative_fraction_rejected() {
+        let p = ThresholdPolicy::FractionOfOverall {
+            fraction: -0.1,
+            floor_secs: 0.0,
+        };
+        let _ = p.resolve(1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the performance matrix and the greedy
+//! scheduler: the structural invariants DESIGN.md commits to.
+
+use pcs_core::{
+    ClassModelSet, ComponentInput, ComponentScheduler, MatrixConfig, MatrixInputs, NodeInput,
+    PerformanceMatrix, SchedulerConfig,
+};
+use pcs_regression::{CombinedServiceTimeModel, SampleSet, TrainingConfig};
+use pcs_types::{ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector};
+use proptest::prelude::*;
+
+fn linear_models() -> ClassModelSet {
+    let mut set = SampleSet::new();
+    for i in 0..60 {
+        let t = i as f64 / 30.0;
+        set.push(
+            ContentionVector::new(t, 10.0 * t, 0.4 * t, 0.2 * t),
+            0.001 * (1.0 + t + 0.2 * t * t),
+        );
+    }
+    ClassModelSet::new(vec![CombinedServiceTimeModel::train(
+        &set,
+        TrainingConfig::default(),
+    )
+    .unwrap()])
+}
+
+/// Random-but-valid matrix inputs: `m` components over `k` nodes with
+/// arbitrary node loads and placements.
+fn arb_inputs() -> impl Strategy<Value = MatrixInputs> {
+    (2usize..8, 2usize..6).prop_flat_map(|(m, k)| {
+        (
+            proptest::collection::vec(0.0f64..8.0, k),
+            proptest::collection::vec(0usize..k, m),
+            proptest::collection::vec(0.0f64..300.0, m),
+        )
+            .prop_map(move |(loads, placement, rates)| {
+                let mut nodes: Vec<NodeInput> = loads
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &cores)| NodeInput {
+                        id: NodeId::from_index(j),
+                        capacity: NodeCapacity::XEON_E5645,
+                        demand: ResourceVector::new(cores, cores * 2.0, cores * 8.0, cores * 4.0),
+                        samples: vec![],
+                    })
+                    .collect();
+                let components: Vec<ComponentInput> = placement
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &node)| {
+                        let demand = ResourceVector::new(0.9, 2.0, 5.0, 2.0);
+                        nodes[node].demand += demand;
+                        ComponentInput {
+                            id: ComponentId::from_index(i),
+                            class: 0,
+                            stage: 0,
+                            node: NodeId::from_index(node),
+                            demand,
+                            arrival_rate: rates[i],
+                            scv: 1.0,
+                        }
+                    })
+                    .collect();
+                MatrixInputs {
+                    nodes,
+                    components,
+                    stage_count: 1,
+                }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The own-node column of the matrix is always exactly zero.
+    #[test]
+    fn own_node_entries_are_zero(inputs in arb_inputs()) {
+        let models = linear_models();
+        let m = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        for (i, c) in inputs.components.iter().enumerate() {
+            prop_assert_eq!(m.gain(ComponentId::from_index(i), c.node), 0.0);
+            prop_assert_eq!(m.self_gain(ComponentId::from_index(i), c.node), 0.0);
+        }
+    }
+
+    /// Every matrix entry is finite, and gains can never exceed the
+    /// current overall latency (you cannot reduce below zero).
+    #[test]
+    fn entries_are_finite_and_bounded(inputs in arb_inputs()) {
+        let models = linear_models();
+        let m = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let overall = m.overall_latency();
+        prop_assert!(overall.is_finite() && overall > 0.0);
+        for i in 0..m.component_count() {
+            for j in 0..m.node_count() {
+                let g = m.gain(ComponentId::from_index(i), NodeId::from_index(j));
+                prop_assert!(g.is_finite());
+                prop_assert!(g <= overall + 1e-12);
+            }
+        }
+    }
+
+    /// The greedy loop: no component migrates twice, every accepted gain
+    /// clears ε, and the predicted overall latency never increases.
+    #[test]
+    fn greedy_invariants(inputs in arb_inputs(), eps in 1e-7f64..1e-3) {
+        let models = linear_models();
+        let scheduler = ComponentScheduler::new(SchedulerConfig {
+            epsilon_secs: eps,
+            max_migrations: None,
+            full_rebuild: false,
+        });
+        let outcome = scheduler.schedule(&inputs, &models, MatrixConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for d in &outcome.decisions {
+            prop_assert!(seen.insert(d.component), "component migrated twice");
+            prop_assert!(d.predicted_gain > eps);
+            prop_assert!(d.from != d.to);
+        }
+        prop_assert!(outcome.predicted_after <= outcome.predicted_before + 1e-12);
+        prop_assert!(outcome.decisions.len() <= inputs.component_count());
+    }
+
+    /// After any accepted migration, the Algorithm 2 incremental update
+    /// leaves candidate rows and the touched columns identical to a full
+    /// rebuild.
+    #[test]
+    fn update_matrix_matches_rebuild_on_fresh_entries(inputs in arb_inputs()) {
+        let models = linear_models();
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let mut candidates = vec![true; matrix.component_count()];
+        let Some(best) = matrix.best_candidate(&candidates) else { return Ok(()); };
+        candidates[best.component.index()] = false;
+        let origin = matrix.apply_migration(best.component, best.destination, &candidates);
+
+        let mut rebuilt = matrix.clone();
+        rebuilt.rebuild_entries();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..matrix.component_count() {
+            if !candidates[i] {
+                continue;
+            }
+            let c = ComponentId::from_index(i);
+            // Touched columns are always fresh.
+            for node in [origin, best.destination] {
+                prop_assert!((matrix.gain(c, node) - rebuilt.gain(c, node)).abs() < 1e-12);
+            }
+            // Rows hosted on the touched nodes are fully fresh.
+            let home = matrix.allocation()[i];
+            if home == origin || home == best.destination {
+                for j in 0..matrix.node_count() {
+                    let n = NodeId::from_index(j);
+                    prop_assert!((matrix.gain(c, n) - rebuilt.gain(c, n)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// `best_candidate` honours the tie set: the returned entry's gain is
+    /// within the configured tolerance of the true maximum.
+    #[test]
+    fn best_candidate_stays_within_tie_tolerance(inputs in arb_inputs(), tol in 0.0f64..0.5) {
+        let models = linear_models();
+        let config = MatrixConfig { tie_tolerance: tol, ..MatrixConfig::default() };
+        let matrix = PerformanceMatrix::build(&inputs, &models, config);
+        let candidates = vec![true; matrix.component_count()];
+        if let Some(best) = matrix.best_candidate(&candidates) {
+            let mut max_gain: f64 = 0.0;
+            for i in 0..matrix.component_count() {
+                for j in 0..matrix.node_count() {
+                    max_gain = max_gain.max(matrix.gain(
+                        ComponentId::from_index(i),
+                        NodeId::from_index(j),
+                    ));
+                }
+            }
+            prop_assert!(best.gain >= max_gain * (1.0 - tol) - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Latency recording and service-time windows.
+//!
+//! Two measurement duties (paper §VI-A "Metrics"):
+//!
+//! * **Evaluation metrics** — "the 99th percentile latency of individual
+//!   components of all requests" and "the average overall service latency
+//!   of all requests". [`LatencyRecorder`] collects exact samples and
+//!   summarises them.
+//! * **Model inputs** — the M/G/1 formula needs each component's recent
+//!   service-time mean and variance. [`ServiceTimeWindow`] keeps a bounded
+//!   window of observed service times and exposes their moments.
+
+use pcs_queueing::{percentile_sorted, Moments};
+use pcs_types::SimDuration;
+
+/// Summary statistics of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency (seconds).
+    pub mean: f64,
+    /// Median (seconds).
+    pub p50: f64,
+    /// 95th percentile (seconds).
+    pub p95: f64,
+    /// 99th percentile (seconds) — the paper's tail metric.
+    pub p99: f64,
+    /// Maximum (seconds).
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// A summary of an empty population (all zeros).
+    pub const EMPTY: LatencySummary = LatencySummary {
+        count: 0,
+        mean: 0.0,
+        p50: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+        max: 0.0,
+    };
+}
+
+/// Collects latency samples and produces exact summaries.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency.as_secs_f64());
+    }
+
+    /// Records a latency in seconds directly.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite values.
+    pub fn record_secs(&mut self, latency_secs: f64) {
+        assert!(
+            latency_secs.is_finite() && latency_secs >= 0.0,
+            "latency must be finite and non-negative, got {latency_secs}"
+        );
+        self.samples.push(latency_secs);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Computes exact summary statistics (sorts a copy; O(n log n)).
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::EMPTY;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let moments = Moments::from_slice(&sorted);
+        LatencySummary {
+            count: sorted.len(),
+            mean: moments.mean(),
+            p50: percentile_sorted(&sorted, 0.50).unwrap(),
+            p95: percentile_sorted(&sorted, 0.95).unwrap(),
+            p99: percentile_sorted(&sorted, 0.99).unwrap(),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// The raw samples (seconds), unsorted, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A bounded sliding window of observed service times, exposing the
+/// moments (x̄, var, C²ₓ) the extended performance model consumes.
+#[derive(Debug, Clone)]
+pub struct ServiceTimeWindow {
+    capacity: usize,
+    values: std::collections::VecDeque<f64>,
+}
+
+impl ServiceTimeWindow {
+    /// Creates a window holding up to `capacity` recent observations.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "service-time window needs capacity");
+        ServiceTimeWindow {
+            capacity,
+            values: std::collections::VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Records one observed service time (seconds).
+    pub fn record(&mut self, service_secs: f64) {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(service_secs);
+    }
+
+    /// Moments over the window's contents.
+    pub fn moments(&self) -> Moments {
+        let mut m = Moments::new();
+        for &v in &self.values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// SCV over the window, falling back to `default_scv` until enough
+    /// samples (≥ 8) have accumulated for a stable estimate.
+    pub fn scv_or(&self, default_scv: f64) -> f64 {
+        if self.values.len() < 8 {
+            default_scv
+        } else {
+            self.moments().scv()
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_population() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record_secs(i as f64);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 0.02);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        assert_eq!(LatencyRecorder::new().summary(), LatencySummary::EMPTY);
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record_secs(1.0);
+        b.record_secs(3.0);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_duration_converts_to_seconds() {
+        let mut r = LatencyRecorder::new();
+        r.record(SimDuration::from_millis(250));
+        assert!((r.samples()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_latency() {
+        LatencyRecorder::new().record_secs(-0.1);
+    }
+
+    #[test]
+    fn window_is_bounded_and_sliding() {
+        let mut w = ServiceTimeWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.record(v);
+        }
+        assert_eq!(w.len(), 3);
+        // Oldest value (1.0) evicted: mean of 2,3,4.
+        assert!((w.moments().mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scv_falls_back_until_enough_samples() {
+        let mut w = ServiceTimeWindow::new(100);
+        for _ in 0..7 {
+            w.record(1.0);
+        }
+        assert_eq!(w.scv_or(1.0), 1.0, "fallback below 8 samples");
+        w.record(1.0);
+        assert_eq!(w.scv_or(1.0), 0.0, "constant data has zero SCV");
+    }
+}

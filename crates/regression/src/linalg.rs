@@ -1,0 +1,126 @@
+//! Minimal dense linear algebra: solving the small symmetric systems that
+//! arise from polynomial least squares (normal equations of dimension
+//! `degree + 1`, i.e. 2×2 to 5×5 in practice).
+//!
+//! Gaussian elimination with partial pivoting is ample at these sizes; no
+//! external linear-algebra dependency is justified for a 4-feature model.
+
+use pcs_types::PcsError;
+
+/// Solves `A·x = b` in place for a square system.
+///
+/// `a` is row-major (`n` rows of `n` entries); both `a` and `b` are
+/// consumed. Returns the solution vector, or a numerical error if the
+/// matrix is singular to working precision.
+#[allow(clippy::needless_range_loop)] // pivoting mutates rows while indexing columns
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, PcsError> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "dimension mismatch between matrix and rhs");
+    for (i, row) in a.iter().enumerate() {
+        assert_eq!(row.len(), n, "matrix row {i} has wrong length");
+    }
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest-magnitude entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .expect("non-empty pivot range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(PcsError::Numerical {
+                context: "linear solve",
+                detail: format!("matrix is singular at column {col}"),
+            });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let upper = a[col][k];
+                a[row][k] -= factor * upper;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+
+    for (i, v) in x.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(PcsError::Numerical {
+                context: "linear solve",
+                detail: format!("non-finite solution component at index {i}"),
+            });
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -2.0]).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x - y = 1 -> x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(matches!(
+            solve(a, vec![1.0, 2.0]),
+            Err(PcsError::Numerical { .. })
+        ));
+    }
+
+    #[test]
+    fn solves_4x4_system() {
+        // A = diag(2,3,4,5) with some coupling; verify A·x == b.
+        let a = vec![
+            vec![2.0, 1.0, 0.0, 0.0],
+            vec![1.0, 3.0, 1.0, 0.0],
+            vec![0.0, 1.0, 4.0, 1.0],
+            vec![0.0, 0.0, 1.0, 5.0],
+        ];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = solve(a.clone(), b.clone()).unwrap();
+        for i in 0..4 {
+            let recomputed: f64 = (0..4).map(|j| a[i][j] * x[j]).sum();
+            assert!((recomputed - b[i]).abs() < 1e-10);
+        }
+    }
+}

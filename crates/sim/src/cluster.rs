@@ -1,0 +1,205 @@
+//! Cluster state: nodes, their resident batch jobs, and the aggregate
+//! demand that determines every co-located component's contention.
+//!
+//! A node's contention vector (paper Table II) is the normalised sum of
+//! the demands of everything resident on it: batch-job VMs plus the
+//! service components themselves. Batch jobs churn (arrive/depart);
+//! component demand moves with migrations.
+
+use pcs_types::{ContentionVector, JobId, NodeCapacity, NodeId, ResourceVector};
+
+/// One physical machine.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    capacity: NodeCapacity,
+    /// Resident batch jobs and their demands.
+    jobs: Vec<(JobId, ResourceVector)>,
+    /// Cached sum of batch-job demand.
+    batch_demand: ResourceVector,
+    /// Cached sum of resident components' own demand.
+    component_demand: ResourceVector,
+}
+
+impl NodeState {
+    fn new(capacity: NodeCapacity) -> Self {
+        NodeState {
+            capacity,
+            jobs: Vec::new(),
+            batch_demand: ResourceVector::ZERO,
+            component_demand: ResourceVector::ZERO,
+        }
+    }
+
+    /// Total demand of everything resident on this node.
+    pub fn total_demand(&self) -> ResourceVector {
+        self.batch_demand + self.component_demand
+    }
+
+    /// Current contention vector (Table II form).
+    pub fn contention(&self) -> ContentionVector {
+        self.capacity.normalize(&self.total_demand())
+    }
+
+    /// The node's capacity.
+    pub fn capacity(&self) -> NodeCapacity {
+        self.capacity
+    }
+
+    /// Number of resident batch jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// The whole cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<NodeState>,
+    next_job: u32,
+}
+
+impl Cluster {
+    /// Creates a homogeneous cluster.
+    ///
+    /// # Panics
+    /// Panics on zero nodes.
+    pub fn new(node_count: usize, capacity: NodeCapacity) -> Self {
+        assert!(node_count > 0, "need at least one node");
+        Cluster {
+            nodes: (0..node_count).map(|_| NodeState::new(capacity)).collect(),
+            next_job: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable view of one node.
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.index()]
+    }
+
+    /// Starts a batch job on a node and returns its id.
+    pub fn start_job(&mut self, node: NodeId, demand: ResourceVector) -> JobId {
+        let id = JobId::new(self.next_job);
+        self.next_job += 1;
+        let n = &mut self.nodes[node.index()];
+        n.jobs.push((id, demand));
+        n.batch_demand += demand;
+        id
+    }
+
+    /// Ends a batch job, releasing its demand.
+    ///
+    /// # Panics
+    /// Panics if the job is not resident on the node (events are exact in
+    /// a DES, so a miss is a simulator bug).
+    pub fn end_job(&mut self, node: NodeId, job: JobId) {
+        let n = &mut self.nodes[node.index()];
+        let pos = n
+            .jobs
+            .iter()
+            .position(|(id, _)| *id == job)
+            .unwrap_or_else(|| panic!("job {job} not resident on {node}"));
+        let (_, demand) = n.jobs.swap_remove(pos);
+        n.batch_demand = n.batch_demand.saturating_sub(&demand);
+    }
+
+    /// Adds a component's own demand to a node (placement or migration
+    /// arrival).
+    pub fn add_component_demand(&mut self, node: NodeId, demand: ResourceVector) {
+        self.nodes[node.index()].component_demand += demand;
+    }
+
+    /// Removes a component's own demand from a node (migration departure).
+    pub fn remove_component_demand(&mut self, node: NodeId, demand: ResourceVector) {
+        let n = &mut self.nodes[node.index()];
+        n.component_demand = n.component_demand.saturating_sub(&demand);
+    }
+
+    /// Contention of one node (Table II form).
+    pub fn contention(&self, node: NodeId) -> ContentionVector {
+        self.nodes[node.index()].contention()
+    }
+
+    /// Total demand per node, densely indexed.
+    pub fn demands(&self) -> Vec<ResourceVector> {
+        self.nodes.iter().map(|n| n.total_demand()).collect()
+    }
+
+    /// Capacities per node, densely indexed.
+    pub fn capacities(&self) -> Vec<NodeCapacity> {
+        self.nodes.iter().map(|n| n.capacity()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(cores: f64) -> ResourceVector {
+        ResourceVector::new(cores, 2.0, 10.0, 5.0)
+    }
+
+    #[test]
+    fn jobs_add_and_release_demand() {
+        let mut c = Cluster::new(2, NodeCapacity::XEON_E5645);
+        let n0 = NodeId::new(0);
+        let j1 = c.start_job(n0, demand(3.0));
+        let j2 = c.start_job(n0, demand(2.0));
+        assert_eq!(c.node(n0).job_count(), 2);
+        assert!((c.node(n0).total_demand().cores - 5.0).abs() < 1e-12);
+
+        c.end_job(n0, j1);
+        assert!((c.node(n0).total_demand().cores - 2.0).abs() < 1e-12);
+        c.end_job(n0, j2);
+        assert_eq!(c.node(n0).total_demand(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn component_demand_tracks_migrations() {
+        let mut c = Cluster::new(2, NodeCapacity::XEON_E5645);
+        let own = demand(1.0);
+        c.add_component_demand(NodeId::new(0), own);
+        assert!((c.contention(NodeId::new(0)).core_usage - 1.0 / 12.0).abs() < 1e-12);
+        // Migrate: remove from 0, add to 1.
+        c.remove_component_demand(NodeId::new(0), own);
+        c.add_component_demand(NodeId::new(1), own);
+        assert_eq!(c.node(NodeId::new(0)).total_demand(), ResourceVector::ZERO);
+        assert!((c.contention(NodeId::new(1)).core_usage - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_combines_jobs_and_components() {
+        let mut c = Cluster::new(1, NodeCapacity::new(12.0, 200.0, 125.0));
+        c.start_job(NodeId::new(0), ResourceVector::new(6.0, 8.0, 100.0, 50.0));
+        c.add_component_demand(NodeId::new(0), ResourceVector::new(1.0, 2.0, 10.0, 5.0));
+        let u = c.contention(NodeId::new(0));
+        assert!((u.core_usage - 7.0 / 12.0).abs() < 1e-12);
+        assert!((u.cache_mpki - 10.0).abs() < 1e-12);
+        assert!((u.disk_util - 110.0 / 200.0).abs() < 1e-12);
+        assert!((u.net_util - 55.0 / 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn ending_missing_job_panics() {
+        let mut c = Cluster::new(1, NodeCapacity::XEON_E5645);
+        c.end_job(NodeId::new(0), JobId::new(99));
+    }
+
+    #[test]
+    fn job_ids_are_unique_across_nodes() {
+        let mut c = Cluster::new(2, NodeCapacity::XEON_E5645);
+        let a = c.start_job(NodeId::new(0), demand(1.0));
+        let b = c.start_job(NodeId::new(1), demand(1.0));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Physical components: single-server FIFO queues bound to nodes.
+//!
+//! A *logical* partition of a stage (e.g. one search-index shard) is
+//! served by one or more *physical* components — its replica group. Each
+//! physical component is the M/G/1 server of the paper's extended model:
+//! one request in service, the rest FIFO-queued. Queued sub-requests can
+//! be cancelled (redundancy cancellation); the one in service cannot
+//! ("once begun, it executes"), which is exactly the race that makes
+//! request redundancy expensive under load.
+
+use pcs_types::{ComponentId, NodeId, RequestId, SimTime};
+use pcs_workloads::ServiceTopology;
+use std::collections::VecDeque;
+
+/// A sub-request sitting in a component's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueItem {
+    /// The request this work belongs to.
+    pub request: RequestId,
+    /// The stage the request was in when this was dispatched.
+    pub stage: u32,
+    /// The partition within that stage.
+    pub partition: u32,
+    /// When the sub-request was enqueued (dispatch time).
+    pub enqueued_at: SimTime,
+}
+
+/// The sub-request currently being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// The work item.
+    pub item: QueueItem,
+    /// When service began.
+    pub started_at: SimTime,
+}
+
+/// One physical component instance.
+#[derive(Debug, Clone)]
+pub struct PhysicalComponent {
+    /// Dense identity.
+    pub id: ComponentId,
+    /// Component-class index (into the topology's class table).
+    pub class: usize,
+    /// Stage index.
+    pub stage: u32,
+    /// Partition index within the stage.
+    pub partition: u32,
+    /// Replica index within the partition's replica group.
+    pub replica: u32,
+    /// Current hosting node.
+    pub node: NodeId,
+    /// Pending migration destination, if one is in flight.
+    pub migrating_to: Option<NodeId>,
+    /// FIFO queue of waiting sub-requests.
+    pub queue: VecDeque<QueueItem>,
+    /// The sub-request in service, if any.
+    pub in_service: Option<InFlight>,
+    /// Completed executions (including wasted ones).
+    pub executions: u64,
+    /// Busy time accumulated since the last monitor tick.
+    pub busy_accum: pcs_types::SimDuration,
+    /// Smoothed utilisation (busy fraction) over recent monitor windows.
+    pub utilization: f64,
+    /// The demand contribution currently registered on the hosting node
+    /// (own demand scaled by utilisation).
+    pub contribution: pcs_types::ResourceVector,
+}
+
+impl PhysicalComponent {
+    /// True if the server is idle (no sub-request in service).
+    pub fn is_idle(&self) -> bool {
+        self.in_service.is_none()
+    }
+
+    /// Queue length (excluding the item in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Removes every queued duplicate of `(request, stage, partition)`,
+    /// returning how many were cancelled. The in-service item is never
+    /// touched.
+    pub fn cancel_queued(&mut self, request: RequestId, stage: u32, partition: u32) -> usize {
+        let before = self.queue.len();
+        self.queue
+            .retain(|q| !(q.request == request && q.stage == stage && q.partition == partition));
+        before - self.queue.len()
+    }
+}
+
+/// The deployment: how logical partitions map to physical components.
+///
+/// The service's components are **stateless workers over shared storage**
+/// (the paper's Storm-deployed Nutch: a component can be re-deployed to
+/// another machine in seconds precisely because it carries no shard).
+/// Every technique therefore runs on the *same* pool of components —
+/// redundancy does not get extra machines. A partition's replica group is
+/// the `replication` consecutive workers of its stage starting at the
+/// partition's own worker (wrapping around), so with replication k every
+/// worker serves its own partition as primary and up to k−1 neighbours'
+/// duplicates:
+///
+/// ```text
+/// replication 3, stage with 5 workers:
+///   partition 0 → {c0, c1, c2}
+///   partition 1 → {c1, c2, c3}
+///   …
+///   partition 4 → {c4, c0, c1}
+/// ```
+///
+/// Stages with fewer workers than the replication factor get groups of the
+/// stage size (a single-component stage cannot be replicated).
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// `groups[stage][partition]` = replica group (component ids).
+    groups: Vec<Vec<Vec<ComponentId>>>,
+    /// Total number of physical components.
+    total: usize,
+    replication: usize,
+}
+
+impl Deployment {
+    /// Builds the replica-group layout for a topology.
+    ///
+    /// # Panics
+    /// Panics on zero replication.
+    pub fn new(topology: &ServiceTopology, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be >= 1");
+        let mut groups = Vec::with_capacity(topology.stage_count());
+        let mut base = 0u32;
+        for stage in topology.stages() {
+            let workers = stage.count as u32;
+            let group_size = replication.min(stage.count);
+            let mut partitions = Vec::with_capacity(stage.count);
+            for p in 0..workers {
+                let replicas = (0..group_size as u32)
+                    .map(|r| ComponentId::new(base + (p + r) % workers))
+                    .collect();
+                partitions.push(replicas);
+            }
+            groups.push(partitions);
+            base += workers;
+        }
+        Deployment {
+            groups,
+            total: base as usize,
+            replication,
+        }
+    }
+
+    /// The replica group serving `(stage, partition)`.
+    pub fn replicas(&self, stage: u32, partition: u32) -> &[ComponentId] {
+        &self.groups[stage as usize][partition as usize]
+    }
+
+    /// Number of partitions in a stage.
+    pub fn partition_count(&self, stage: u32) -> usize {
+        self.groups[stage as usize].len()
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total physical components.
+    pub fn component_count(&self) -> usize {
+        self.total
+    }
+
+    /// The deployment's replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Instantiates the physical component table (nodes assigned later by
+    /// placement). One worker per partition; `partition` records the
+    /// partition the worker serves as *primary*.
+    pub fn instantiate(&self, topology: &ServiceTopology) -> Vec<PhysicalComponent> {
+        let mut out = Vec::with_capacity(self.total);
+        for (si, stage) in topology.stages().iter().enumerate() {
+            for p in 0..stage.count {
+                out.push(PhysicalComponent {
+                    id: ComponentId::from_index(out.len()),
+                    class: stage.class,
+                    stage: si as u32,
+                    partition: p as u32,
+                    replica: 0,
+                    node: NodeId::new(0),
+                    migrating_to: None,
+                    queue: VecDeque::new(),
+                    in_service: None,
+                    executions: 0,
+                    busy_accum: pcs_types::SimDuration::ZERO,
+                    utilization: 0.0,
+                    contribution: pcs_types::ResourceVector::ZERO,
+                });
+            }
+        }
+        debug_assert_eq!(out.len(), self.total);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapping_groups_share_the_worker_pool() {
+        let topo = ServiceTopology::nutch(5); // 1 + 5 + 1 components
+        let dep = Deployment::new(&topo, 3);
+        // Same pool size regardless of replication.
+        assert_eq!(dep.component_count(), 7);
+        // Single-component stages cannot be replicated.
+        assert_eq!(dep.replicas(0, 0), &[ComponentId::new(0)]);
+        assert_eq!(dep.replicas(2, 0), &[ComponentId::new(6)]);
+        // Searching groups are consecutive workers, wrapping around.
+        assert_eq!(
+            dep.replicas(1, 0),
+            &[ComponentId::new(1), ComponentId::new(2), ComponentId::new(3)]
+        );
+        assert_eq!(
+            dep.replicas(1, 4),
+            &[ComponentId::new(5), ComponentId::new(1), ComponentId::new(2)]
+        );
+        assert_eq!(dep.partition_count(1), 5);
+    }
+
+    #[test]
+    fn every_worker_is_primary_for_exactly_one_partition() {
+        let topo = ServiceTopology::nutch(6);
+        let dep = Deployment::new(&topo, 3);
+        let mut primaries = std::collections::HashSet::new();
+        for p in 0..dep.partition_count(1) {
+            assert!(primaries.insert(dep.replicas(1, p as u32)[0]));
+        }
+        assert_eq!(primaries.len(), 6);
+    }
+
+    #[test]
+    fn instantiate_matches_layout() {
+        let topo = ServiceTopology::nutch(2);
+        let dep = Deployment::new(&topo, 2);
+        let comps = dep.instantiate(&topo);
+        assert_eq!(comps.len(), dep.component_count());
+        for (i, c) in comps.iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+        // The primary of partition (1, p) is the worker whose partition
+        // field is p.
+        for p in 0..2u32 {
+            let primary = dep.replicas(1, p)[0];
+            assert_eq!(comps[primary.index()].partition, p);
+            assert_eq!(comps[primary.index()].class, 1, "searching class");
+        }
+    }
+
+    #[test]
+    fn cancel_removes_only_matching_duplicates() {
+        let topo = ServiceTopology::nutch(1);
+        let dep = Deployment::new(&topo, 1);
+        let mut comps = dep.instantiate(&topo);
+        let c = &mut comps[1];
+        let mk = |req: u32, part: u32| QueueItem {
+            request: RequestId::new(req),
+            stage: 1,
+            partition: part,
+            enqueued_at: SimTime::ZERO,
+        };
+        c.queue.push_back(mk(1, 0));
+        c.queue.push_back(mk(2, 0));
+        c.queue.push_back(mk(1, 0)); // duplicate of the first
+        let cancelled = c.cancel_queued(RequestId::new(1), 1, 0);
+        assert_eq!(cancelled, 2);
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.queue[0].request, RequestId::new(2));
+    }
+
+    #[test]
+    fn pool_size_is_replication_invariant() {
+        let topo = ServiceTopology::nutch(100);
+        for k in [1, 2, 3, 5] {
+            let dep = Deployment::new(&topo, k);
+            assert_eq!(dep.component_count(), topo.component_count());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulation configuration.
+
+use pcs_monitor::SamplerConfig;
+use pcs_types::{NodeCapacity, SimDuration};
+use pcs_workloads::{JobGenConfig, ServiceTopology};
+
+/// How the service's logical partitions map onto physical components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentConfig {
+    /// Physical instances per partition. Basic/PCS use 1; the reissue
+    /// baselines need 2 (a primary and a backup); RED-k needs k.
+    pub replication: usize,
+}
+
+impl DeploymentConfig {
+    /// Single-instance deployment (Basic / PCS).
+    pub const SINGLE: DeploymentConfig = DeploymentConfig { replication: 1 };
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// How long new requests keep arriving.
+    pub horizon: SimDuration,
+    /// Measurement warm-up: latencies recorded before this are discarded.
+    pub warmup: SimDuration,
+    /// Extra time after the horizon to let in-flight requests drain before
+    /// the run is cut off (remaining requests are reported as censored).
+    pub drain_grace: SimDuration,
+    /// Number of physical nodes.
+    pub node_count: usize,
+    /// Per-node hardware capacity (homogeneous, like the paper's testbed).
+    pub node_capacity: NodeCapacity,
+    /// The service topology (stages, classes, partition counts).
+    pub topology: ServiceTopology,
+    /// Replication factor of the deployment.
+    pub deployment: DeploymentConfig,
+    /// Request arrival rate (req/s, Poisson).
+    pub arrival_rate: f64,
+    /// Batch-job churn per node; `None` disables batch jobs.
+    pub jobgen: Option<JobGenConfig>,
+    /// Monitor sampling cadences and noise.
+    pub sampler: SamplerConfig,
+    /// Scheduling interval (how often the scheduler hook runs).
+    pub scheduler_interval: SimDuration,
+    /// How long a component migration takes to complete.
+    pub migration_latency: SimDuration,
+    /// One-way delay of application-level cancellation messages between
+    /// replicas — the in-flight race window of the paper's §VI-C
+    /// discussion. The paper's cancellation rides Storm/ZooKeeper
+    /// messaging, which is milliseconds, not wire latency; that is why the
+    /// paper observes replicas "still execute replicas of the same request
+    /// unnecessarily".
+    pub cancel_delay: SimDuration,
+    /// Sliding window of the arrival-rate estimator.
+    pub rate_window: SimDuration,
+    /// Capacity of each component's observed-service-time window.
+    pub service_window: usize,
+}
+
+impl SimConfig {
+    /// A configuration mirroring the paper's §VI-C evaluation setting,
+    /// time-compressed (÷10) so a run finishes in seconds of wall-clock:
+    /// 30 nodes, Nutch topology, batch churn of all six workloads with
+    /// durations compressed to seconds, monitor cadences of 1 s / 5 s
+    /// (paper: 1 s / 60 s), a 2 s scheduling interval with 0.25 s
+    /// migrations (paper: 600 s interval, ≤3 s migrations). All ratios —
+    /// migration ≪ interval, several job arrivals per interval, several
+    /// samples per interval — are preserved.
+    pub fn paper_like(topology: ServiceTopology, arrival_rate: f64, seed: u64) -> Self {
+        let mut sampler = SamplerConfig::PAPER;
+        sampler.microarch_period = SimDuration::from_secs(5);
+        SimConfig {
+            seed,
+            horizon: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(10),
+            drain_grace: SimDuration::from_secs(5),
+            node_count: 30,
+            node_capacity: NodeCapacity::XEON_E5645,
+            topology,
+            deployment: DeploymentConfig::SINGLE,
+            arrival_rate,
+            jobgen: Some(JobGenConfig::paper_mix_compressed(5.0, 0.1)),
+            sampler,
+            scheduler_interval: SimDuration::from_secs(2),
+            migration_latency: SimDuration::from_millis(250),
+            cancel_delay: SimDuration::from_millis(3),
+            rate_window: SimDuration::from_secs(5),
+            service_window: 256,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings (zero nodes, zero replication,
+    /// replication exceeding the node count, non-positive arrival rate…).
+    pub fn validate(&self) {
+        assert!(self.node_count > 0, "need at least one node");
+        assert!(self.deployment.replication > 0, "replication must be >= 1");
+        assert!(
+            self.deployment.replication <= self.node_count,
+            "replicas of a partition must fit on distinct nodes ({} > {})",
+            self.deployment.replication,
+            self.node_count
+        );
+        assert!(
+            self.deployment.replication <= 8,
+            "replica groups are limited to 8 instances"
+        );
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(!self.horizon.is_zero(), "horizon must be non-zero");
+        assert!(
+            self.warmup < self.horizon,
+            "warm-up must end before the horizon"
+        );
+        assert!(
+            !self.scheduler_interval.is_zero(),
+            "scheduler interval must be non-zero"
+        );
+        assert!(self.service_window > 0, "service window needs capacity");
+    }
+
+    /// Total number of physical components in the deployment (the pool is
+    /// replication-invariant: replica groups overlap on the same workers).
+    pub fn component_count(&self) -> usize {
+        self.topology.component_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_workloads::ServiceTopology;
+
+    #[test]
+    fn paper_like_validates() {
+        let cfg = SimConfig::paper_like(ServiceTopology::nutch(24), 100.0, 1);
+        cfg.validate();
+        assert_eq!(cfg.component_count(), 26);
+    }
+
+    #[test]
+    fn replication_does_not_grow_the_pool() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(10), 100.0, 1);
+        cfg.deployment = DeploymentConfig { replication: 3 };
+        cfg.validate();
+        assert_eq!(cfg.component_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn replication_beyond_nodes_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_count = 2;
+        cfg.deployment = DeploymentConfig { replication: 3 };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,122 @@
+//! Run metrics and the final report.
+//!
+//! The paper's two evaluation metrics (§VI-A):
+//!
+//! 1. the **99th-percentile latency of individual components** over all
+//!    requests — for redundancy/reissue techniques, the latency of the
+//!    *quickest* replica of each sub-request;
+//! 2. the **average overall service latency** over all requests.
+//!
+//! Plus operational counters that explain the mechanisms: executions,
+//! wasted (duplicate) executions, cancellations, reissues, migrations.
+
+use pcs_monitor::{LatencyRecorder, LatencySummary};
+use pcs_types::SimTime;
+
+/// Mechanism counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TechniqueStats {
+    /// Completed requests (all stages answered).
+    pub requests_completed: u64,
+    /// Requests still in flight when the run was cut off.
+    pub requests_censored: u64,
+    /// Sub-request executions that ran to completion.
+    pub executions: u64,
+    /// Executions whose response arrived after the partition was already
+    /// answered (redundancy waste).
+    pub wasted_executions: u64,
+    /// Queued duplicates removed by cancellation messages or by a
+    /// partition completing.
+    pub cancelled_duplicates: u64,
+    /// Reissued sub-requests (RI-p).
+    pub reissues: u64,
+    /// Component migrations enacted (PCS).
+    pub migrations: u64,
+    /// Batch jobs that ran during the measured window.
+    pub batch_jobs_started: u64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Technique name (the dispatch policy's name, or "PCS").
+    pub technique: String,
+    /// Configured request arrival rate (req/s).
+    pub arrival_rate: f64,
+    /// Time at which measurement started (end of warm-up).
+    pub measured_from: SimTime,
+    /// Time at which the run ended.
+    pub ended_at: SimTime,
+    /// Component-latency distribution (winning replicas only).
+    pub component_latency: LatencySummary,
+    /// Overall service-latency distribution.
+    pub overall_latency: LatencySummary,
+    /// Mechanism counters.
+    pub stats: TechniqueStats,
+}
+
+impl RunReport {
+    /// The paper's tail metric: 99th-percentile component latency, in
+    /// milliseconds.
+    pub fn component_p99_ms(&self) -> f64 {
+        self.component_latency.p99 * 1e3
+    }
+
+    /// The paper's overall metric: mean overall service latency, in
+    /// milliseconds.
+    pub fn overall_mean_ms(&self) -> f64 {
+        self.overall_latency.mean * 1e3
+    }
+}
+
+/// Mutable collectors owned by the world during a run.
+#[derive(Debug, Default)]
+pub(crate) struct Collectors {
+    pub component_latency: LatencyRecorder,
+    pub overall_latency: LatencyRecorder,
+    pub stats: TechniqueStats,
+}
+
+impl Collectors {
+    /// Clears measured data at the end of warm-up (counters for
+    /// mechanism totals keep accumulating from zero again).
+    pub fn reset_for_measurement(&mut self) {
+        self.component_latency = LatencyRecorder::new();
+        self.overall_latency = LatencyRecorder::new();
+        self.stats = TechniqueStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_unit_conversions() {
+        let mut rec = LatencyRecorder::new();
+        for i in 1..=100 {
+            rec.record_secs(i as f64 / 1000.0);
+        }
+        let report = RunReport {
+            technique: "Basic".into(),
+            arrival_rate: 100.0,
+            measured_from: SimTime::from_secs(10),
+            ended_at: SimTime::from_secs(70),
+            component_latency: rec.summary(),
+            overall_latency: rec.summary(),
+            stats: TechniqueStats::default(),
+        };
+        assert!((report.component_p99_ms() - 99.01).abs() < 0.1);
+        assert!((report.overall_mean_ms() - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn collectors_reset_cleanly() {
+        let mut c = Collectors::default();
+        c.component_latency.record_secs(1.0);
+        c.stats.executions = 5;
+        c.reset_for_measurement();
+        assert!(c.component_latency.is_empty());
+        assert_eq!(c.stats.executions, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Initial component placement.
+//!
+//! Components are spread round-robin across nodes; because replicas of a
+//! partition are numbered consecutively, they automatically land on
+//! distinct nodes whenever the cluster has at least `replication` nodes
+//! (asserted by the config validator). The scheduler then *improves* this
+//! placement at run time — PCS is explicitly a complement to initial
+//! provisioning, not a replacement for it (paper §III).
+
+use crate::component::PhysicalComponent;
+use pcs_types::NodeId;
+
+/// Assigns nodes to components round-robin.
+pub fn round_robin(components: &mut [PhysicalComponent], node_count: usize) {
+    assert!(node_count > 0, "need at least one node");
+    for (i, c) in components.iter_mut().enumerate() {
+        c.node = NodeId::from_index(i % node_count);
+    }
+}
+
+/// Round-robin placement that additionally avoids putting two members of
+/// any replica group on the same node.
+///
+/// Plain round-robin can collide at the partition-space wrap (the last
+/// groups of a stage contain both high- and low-numbered workers); this
+/// variant advances past conflicting nodes, falling back to the plain
+/// round-robin slot if every node conflicts (only possible when
+/// `node_count` < group size, which the config validator excludes).
+pub fn anti_affine(
+    components: &mut [PhysicalComponent],
+    deployment: &crate::component::Deployment,
+    node_count: usize,
+) {
+    assert!(node_count > 0, "need at least one node");
+    // Which groups each component belongs to.
+    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); components.len()];
+    let mut group_no = 0u32;
+    for stage in 0..deployment.stage_count() {
+        for p in 0..deployment.partition_count(stage as u32) {
+            for c in deployment.replicas(stage as u32, p as u32) {
+                memberships[c.index()].push(group_no);
+            }
+            group_no += 1;
+        }
+    }
+    let mut placed: Vec<Option<NodeId>> = vec![None; components.len()];
+    let mut cursor = 0usize;
+    for i in 0..components.len() {
+        let conflicts = |node: NodeId, placed: &[Option<NodeId>]| -> bool {
+            memberships[i].iter().any(|g| {
+                components.iter().enumerate().any(|(j, _)| {
+                    j != i
+                        && placed[j] == Some(node)
+                        && memberships[j].contains(g)
+                })
+            })
+        };
+        let mut chosen = NodeId::from_index(cursor % node_count);
+        for step in 0..node_count {
+            let candidate = NodeId::from_index((cursor + step) % node_count);
+            if !conflicts(candidate, &placed) {
+                chosen = candidate;
+                break;
+            }
+        }
+        placed[i] = Some(chosen);
+        components[i].node = chosen;
+        cursor = chosen.index() + 1;
+    }
+}
+
+/// Verifies no replica group has two members on one node (placement
+/// invariant; used by tests and debug assertions). With overlapping
+/// groups of consecutive workers and round-robin placement, this holds
+/// whenever the cluster has at least `replication` nodes.
+pub fn replicas_on_distinct_nodes(
+    deployment: &crate::component::Deployment,
+    components: &[PhysicalComponent],
+) -> bool {
+    for stage in 0..deployment.stage_count() {
+        for p in 0..deployment.partition_count(stage as u32) {
+            let group = deployment.replicas(stage as u32, p as u32);
+            let mut nodes: Vec<NodeId> =
+                group.iter().map(|c| components[c.index()].node).collect();
+            nodes.sort_unstable();
+            if nodes.windows(2).any(|w| w[0] == w[1]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Deployment;
+    use pcs_workloads::ServiceTopology;
+
+    #[test]
+    fn round_robin_balances_nodes() {
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 1);
+        let mut comps = dep.instantiate(&topo);
+        round_robin(&mut comps, 8);
+        // Spread: every node hosts ⌈total/8⌉ or ⌊total/8⌋ components.
+        let mut counts = vec![0usize; 8];
+        for c in &comps {
+            counts[c.node.index()] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "round-robin must balance: {counts:?}");
+    }
+
+    #[test]
+    fn anti_affine_separates_replicas_even_at_wrap() {
+        // W=10 workers, 8 nodes, groups of 3: plain round-robin collides
+        // at the wrap groups; anti-affine placement must not.
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 3);
+        let mut comps = dep.instantiate(&topo);
+        round_robin(&mut comps, 8);
+        assert!(
+            !replicas_on_distinct_nodes(&dep, &comps),
+            "precondition: plain round-robin collides at the wrap"
+        );
+        anti_affine(&mut comps, &dep, 8);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+        // Balance stays reasonable.
+        let mut counts = vec![0usize; 8];
+        for c in &comps {
+            counts[c.node.index()] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        assert!(*max <= 3, "anti-affine must not pile up: {counts:?}");
+    }
+
+    #[test]
+    fn anti_affine_handles_paper_scale() {
+        let topo = ServiceTopology::nutch(100);
+        let dep = Deployment::new(&topo, 5);
+        let mut comps = dep.instantiate(&topo);
+        anti_affine(&mut comps, &dep, 30);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+    }
+
+    #[test]
+    fn detects_replica_collision() {
+        let topo = ServiceTopology::nutch(4);
+        let dep = Deployment::new(&topo, 2);
+        let mut comps = dep.instantiate(&topo);
+        round_robin(&mut comps, 4);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+        // Force a collision inside the group of searching partition 0.
+        let id1 = dep.replicas(1, 0)[0];
+        let id2 = dep.replicas(1, 0)[1];
+        let node = comps[id1.index()].node;
+        comps[id2.index()].node = node;
+        assert!(!replicas_on_distinct_nodes(&dep, &comps));
+    }
+}

@@ -1,0 +1,190 @@
+//! Dispatch policies and the scheduler hook.
+//!
+//! A [`DispatchPolicy`] decides, per partition sub-request, which replica
+//! instances receive the work, whether laggards are reissued, and whether
+//! queued duplicates are cancelled when a replica starts — the degrees of
+//! freedom distinguishing Basic, RED-k and RI-p (paper §VI-A "Compared
+//! techniques"). The concrete redundancy/reissue baselines live in
+//! `pcs-baselines`; [`BasicPolicy`] (no redundancy) lives here because the
+//! simulator itself needs a default.
+//!
+//! A [`SchedulerHook`] runs at every scheduling interval with the
+//! monitors' view of the world and returns component migrations — this is
+//! where the PCS controller (umbrella crate) plugs in. [`NoopScheduler`]
+//! never migrates (all non-PCS techniques).
+
+use pcs_types::{
+    ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector, SimDuration, SimTime,
+};
+use rand::rngs::SmallRng;
+
+/// Decides replica fan-out, reissue and cancellation for sub-requests.
+pub trait DispatchPolicy {
+    /// Display name ("Basic", "RED-3", …).
+    fn name(&self) -> &'static str;
+
+    /// Replica instances this policy needs per partition.
+    fn replication(&self) -> usize;
+
+    /// Chooses the initial targets for a partition sub-request from its
+    /// replica group, appending to `out` (cleared by the caller). Must
+    /// pick at least one target; targets must be a prefix-free subset of
+    /// `replicas` (no duplicates).
+    fn initial_targets(
+        &mut self,
+        replicas: &[ComponentId],
+        rng: &mut SmallRng,
+        out: &mut Vec<ComponentId>,
+    );
+
+    /// If this policy reissues laggards: the delay after which a duplicate
+    /// is sent, for a sub-request of the given component class. `None`
+    /// disables reissue.
+    fn reissue_delay(&mut self, class: usize) -> Option<SimDuration>;
+
+    /// Observes a completed (winning) sub-request latency of a class, so
+    /// adaptive policies can update their expected-latency estimates.
+    fn observe_latency(&mut self, class: usize, latency: SimDuration);
+
+    /// Whether queued duplicates are cancelled (with network delay) when
+    /// one replica starts executing.
+    fn cancel_on_start(&self) -> bool;
+}
+
+/// The paper's "Basic" technique: one instance per partition, no
+/// redundancy, no reissue, no migrations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicPolicy;
+
+impl DispatchPolicy for BasicPolicy {
+    fn name(&self) -> &'static str {
+        "Basic"
+    }
+
+    fn replication(&self) -> usize {
+        1
+    }
+
+    fn initial_targets(
+        &mut self,
+        replicas: &[ComponentId],
+        _rng: &mut SmallRng,
+        out: &mut Vec<ComponentId>,
+    ) {
+        out.push(replicas[0]);
+    }
+
+    fn reissue_delay(&mut self, _class: usize) -> Option<SimDuration> {
+        None
+    }
+
+    fn observe_latency(&mut self, _class: usize, _latency: SimDuration) {}
+
+    fn cancel_on_start(&self) -> bool {
+        false
+    }
+}
+
+/// Static description of one physical component, for scheduler hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentMeta {
+    /// Identity.
+    pub id: ComponentId,
+    /// Class index.
+    pub class: usize,
+    /// Stage index.
+    pub stage: usize,
+    /// Current hosting node.
+    pub node: NodeId,
+    /// Whether a migration is already in flight for this component.
+    pub migrating: bool,
+    /// The component's own demand contribution (`U_ci` of Table III).
+    pub own_demand: ResourceVector,
+}
+
+/// Everything a scheduler hook may consult at an interval boundary.
+///
+/// All per-node/per-component vectors are densely indexed by id. The
+/// monitored fields carry sampling noise and staleness; the
+/// `ground_truth_demand` field exposes the simulator's exact state for
+/// oracle ablations only.
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Component metadata.
+    pub components: &'a [ComponentMeta],
+    /// Node capacities.
+    pub node_capacities: &'a [NodeCapacity],
+    /// Monitored contention windows per node, drained since the previous
+    /// interval (paper: 1 s system-level samples, 60 s MPKI).
+    pub sampled_windows: &'a [Vec<ContentionVector>],
+    /// Monitored arrival rate per component (req/s).
+    pub arrival_rates: &'a [f64],
+    /// Observed service-time SCV per component.
+    pub service_scv: &'a [f64],
+    /// Number of sequential stages.
+    pub stage_count: usize,
+    /// Exact per-node aggregate demand (oracle ablations only).
+    pub ground_truth_demand: &'a [ResourceVector],
+}
+
+/// A migration order returned by a scheduler hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRequest {
+    /// The component to move.
+    pub component: ComponentId,
+    /// Its destination node.
+    pub to: NodeId,
+}
+
+/// Runs at every scheduling interval; returns migrations to enact.
+pub trait SchedulerHook {
+    /// Inspects the interval's monitoring data and orders migrations.
+    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest>;
+}
+
+/// A hook that never migrates anything (Basic, RED-k, RI-p).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopScheduler;
+
+impl SchedulerHook for NoopScheduler {
+    fn on_interval(&mut self, _ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_policy_targets_primary_only() {
+        let mut p = BasicPolicy;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let replicas = [ComponentId::new(4), ComponentId::new(9)];
+        let mut out = Vec::new();
+        p.initial_targets(&replicas, &mut rng, &mut out);
+        assert_eq!(out, vec![ComponentId::new(4)]);
+        assert_eq!(p.replication(), 1);
+        assert!(p.reissue_delay(0).is_none());
+        assert!(!p.cancel_on_start());
+    }
+
+    #[test]
+    fn noop_scheduler_orders_nothing() {
+        let mut hook = NoopScheduler;
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            components: &[],
+            node_capacities: &[],
+            sampled_windows: &[],
+            arrival_rates: &[],
+            service_scv: &[],
+            stage_count: 1,
+            ground_truth_demand: &[],
+        };
+        assert!(hook.on_interval(&ctx).is_empty());
+    }
+}

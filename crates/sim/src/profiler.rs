@@ -1,0 +1,197 @@
+//! Profiling runs: gathering training samples for the performance model.
+//!
+//! Paper §IV-A: training samples come "from profiling runs or historical
+//! running logs", and §VI-B describes the accuracy experiment's setup —
+//! one searching component in a small VM co-located with a batch-job VM
+//! running one workload at one input size; the regression is trained on
+//! historical runs and evaluated against the measured service time.
+//!
+//! [`profile_class`] reproduces a profiling campaign: for each co-runner
+//! demand in a schedule, the monitors sample the node's (noisy) contention
+//! while the component's realised service times are recorded; the paired
+//! observations form the class's [`SampleSet`].
+
+use crate::ground_truth::GroundTruth;
+use pcs_monitor::{ContentionSampler, SamplerConfig};
+use pcs_queueing::Moments;
+use pcs_regression::SampleSet;
+use pcs_types::{NodeCapacity, ResourceVector, SimTime};
+use pcs_workloads::ComponentClass;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Profiles one component class against a schedule of co-runner demands.
+///
+/// For each demand in `schedule`, the profiling node hosts the component
+/// (its own demand included, as a real node would) plus the co-runner;
+/// `samples_per_point` monitored observations are paired with the *mean*
+/// of `draws_per_sample` realised service times — a component serving even
+/// a modest request rate completes many requests within one monitoring
+/// window, so the logged service time per sample is an average, not a
+/// single draw. Sampling noise and MPKI staleness follow `sampler_config`.
+#[allow(clippy::too_many_arguments)] // a profiling campaign genuinely has this many knobs
+pub fn profile_class(
+    classes: &[ComponentClass],
+    class_idx: usize,
+    capacity: NodeCapacity,
+    schedule: &[ResourceVector],
+    samples_per_point: usize,
+    draws_per_sample: usize,
+    sampler_config: SamplerConfig,
+    seed: u64,
+) -> SampleSet {
+    assert!(class_idx < classes.len(), "unknown class {class_idx}");
+    assert!(samples_per_point > 0, "need at least one sample per point");
+    assert!(draws_per_sample > 0, "need at least one draw per sample");
+    let ground_truth = GroundTruth::new(classes);
+    let own = classes[class_idx].own_demand;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = SampleSet::new();
+
+    let period = sampler_config.system_period;
+    let mut clock = SimTime::ZERO;
+    for co_demand in schedule {
+        // A fresh sampler per profiling point mirrors a fresh deployment.
+        let mut sampler = ContentionSampler::new(sampler_config, clock);
+        let truth = capacity.normalize(&(*co_demand + own));
+        let mut taken = 0;
+        while taken < samples_per_point {
+            if let Some(observed) = sampler.observe(clock, &truth, &mut rng) {
+                let mut m = Moments::new();
+                for _ in 0..draws_per_sample {
+                    m.push(ground_truth.sample_service_time(class_idx, &truth, &mut rng));
+                }
+                set.push(observed, m.mean());
+                taken += 1;
+            }
+            clock += period;
+        }
+    }
+    set
+}
+
+/// Measures the ground-truth mean service time of a class co-located with
+/// a given demand, averaged over `draws` realisations — the "actual"
+/// latency the paper's Figure 5 compares predictions against.
+pub fn measure_mean_service(
+    classes: &[ComponentClass],
+    class_idx: usize,
+    capacity: NodeCapacity,
+    co_demand: ResourceVector,
+    draws: usize,
+    seed: u64,
+) -> f64 {
+    assert!(draws > 0, "need at least one draw");
+    let ground_truth = GroundTruth::new(classes);
+    let own = classes[class_idx].own_demand;
+    let truth = capacity.normalize(&(co_demand + own));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = Moments::new();
+    for _ in 0..draws {
+        m.push(ground_truth.sample_service_time(class_idx, &truth, &mut rng));
+    }
+    m.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_monitor::SamplerConfig;
+    use pcs_types::SimDuration;
+    use pcs_workloads::{ServiceTopology, SlowdownSensitivity};
+
+    fn classes() -> Vec<ComponentClass> {
+        ServiceTopology::nutch(4).classes().to_vec()
+    }
+
+    fn schedule() -> Vec<ResourceVector> {
+        (0..8)
+            .map(|i| {
+                let t = i as f64 / 7.0;
+                ResourceVector::new(8.0 * t, 12.0 * t, 120.0 * t, 60.0 * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profiling_produces_expected_sample_count() {
+        let set = profile_class(
+            &classes(),
+            1,
+            NodeCapacity::XEON_E5645,
+            &schedule(),
+            25,
+            20,
+            SamplerConfig::PAPER,
+            7,
+        );
+        assert_eq!(set.len(), 8 * 25);
+    }
+
+    #[test]
+    fn samples_span_the_contention_range() {
+        let set = profile_class(
+            &classes(),
+            1,
+            NodeCapacity::XEON_E5645,
+            &schedule(),
+            10,
+            20,
+            SamplerConfig::perfect(SimDuration::from_secs(1)),
+            7,
+        );
+        let cores: Vec<f64> = set.iter().map(|(u, _)| u.core_usage).collect();
+        let min = cores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = cores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.15, "schedule starts near idle, got min {min}");
+        assert!(max > 0.6, "schedule ends loaded, got max {max}");
+    }
+
+    #[test]
+    fn service_time_grows_along_schedule() {
+        let classes = classes();
+        let light = measure_mean_service(
+            &classes,
+            1,
+            NodeCapacity::XEON_E5645,
+            ResourceVector::ZERO,
+            5_000,
+            3,
+        );
+        let heavy = measure_mean_service(
+            &classes,
+            1,
+            NodeCapacity::XEON_E5645,
+            ResourceVector::new(10.0, 16.0, 150.0, 80.0),
+            5_000,
+            3,
+        );
+        assert!(
+            heavy > light * 1.3,
+            "contention must inflate measured service time: {heavy} vs {light}"
+        );
+    }
+
+    #[test]
+    fn insensitive_class_is_flat() {
+        let mut cls = classes();
+        cls[1] = ComponentClass::new(
+            "flat",
+            0.001,
+            0.0,
+            SlowdownSensitivity::NONE,
+            ResourceVector::ZERO,
+        );
+        let light = measure_mean_service(&cls, 1, NodeCapacity::XEON_E5645, ResourceVector::ZERO, 10, 1);
+        let heavy = measure_mean_service(
+            &cls,
+            1,
+            NodeCapacity::XEON_E5645,
+            ResourceVector::new(10.0, 16.0, 150.0, 80.0),
+            10,
+            1,
+        );
+        assert_eq!(light, heavy);
+        assert_eq!(light, 0.001);
+    }
+}

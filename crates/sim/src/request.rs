@@ -1,0 +1,139 @@
+//! Active-request tracking through the multi-stage pipeline.
+//!
+//! A request advances stage by stage (paper Figure 1): at each stage it
+//! fans out one sub-request per partition and waits for the *first*
+//! response from every partition (redundant replicas race; the quickest
+//! wins). When all partitions of a stage have answered, the next stage
+//! begins; after the last stage the request completes and its overall
+//! latency is `completion − arrival` (the paper's second metric).
+
+use pcs_types::{RequestId, SimTime};
+
+/// Progress of one partition within the request's current stage.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionProgress {
+    /// First response received.
+    pub done: bool,
+    /// Replicas the sub-request has been sent to so far.
+    pub replicas_used: u8,
+    /// Bitmask of replica-group indices already targeted (bit i = replica
+    /// i of the group); supports up to 8 replicas.
+    pub used_mask: u8,
+    /// When the partition's first dispatch happened.
+    pub dispatched_at: SimTime,
+}
+
+impl PartitionProgress {
+    /// Marks replica-group index `i` as targeted.
+    pub fn mark_used(&mut self, i: usize) {
+        debug_assert!(i < 8, "replica groups are limited to 8 instances");
+        self.used_mask |= 1 << i;
+        self.replicas_used += 1;
+    }
+
+    /// The lowest replica-group index not yet targeted, if any remain
+    /// within a group of `group_len` replicas.
+    pub fn next_unused(&self, group_len: usize) -> Option<usize> {
+        (0..group_len.min(8)).find(|&i| self.used_mask & (1 << i) == 0)
+    }
+}
+
+/// One in-flight request.
+#[derive(Debug, Clone)]
+pub struct ActiveRequest {
+    /// Identity.
+    pub id: RequestId,
+    /// Arrival time (for the overall-latency metric).
+    pub arrived: SimTime,
+    /// Current stage (0-based).
+    pub stage: u32,
+    /// Per-partition progress within the current stage.
+    pub partitions: Vec<PartitionProgress>,
+    /// Partitions still awaiting their first response.
+    pub pending: u32,
+}
+
+impl ActiveRequest {
+    /// Creates a request entering stage 0 with `partition_count`
+    /// partitions.
+    pub fn new(id: RequestId, arrived: SimTime, partition_count: usize) -> Self {
+        ActiveRequest {
+            id,
+            arrived,
+            stage: 0,
+            partitions: vec![
+                PartitionProgress {
+                    done: false,
+                    replicas_used: 0,
+                    used_mask: 0,
+                    dispatched_at: arrived,
+                };
+                partition_count
+            ],
+            pending: partition_count as u32,
+        }
+    }
+
+    /// Re-initialises progress for the next stage.
+    pub fn enter_stage(&mut self, stage: u32, partition_count: usize, now: SimTime) {
+        self.stage = stage;
+        self.partitions.clear();
+        self.partitions.resize(
+            partition_count,
+            PartitionProgress {
+                done: false,
+                replicas_used: 0,
+                used_mask: 0,
+                dispatched_at: now,
+            },
+        );
+        self.pending = partition_count as u32;
+    }
+
+    /// Marks a partition as answered. Returns `true` if this was its first
+    /// response (i.e. the caller should count the winning latency and
+    /// check stage completion), `false` for late duplicates.
+    pub fn complete_partition(&mut self, partition: u32) -> bool {
+        let p = &mut self.partitions[partition as usize];
+        if p.done {
+            return false;
+        }
+        p.done = true;
+        self.pending -= 1;
+        true
+    }
+
+    /// True when every partition of the current stage has answered.
+    pub fn stage_complete(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_through_stages() {
+        let mut r = ActiveRequest::new(RequestId::new(7), SimTime::from_millis(10), 3);
+        assert_eq!(r.pending, 3);
+        assert!(r.complete_partition(1));
+        assert!(!r.stage_complete());
+        assert!(r.complete_partition(0));
+        assert!(r.complete_partition(2));
+        assert!(r.stage_complete());
+
+        r.enter_stage(1, 2, SimTime::from_millis(15));
+        assert_eq!(r.stage, 1);
+        assert_eq!(r.pending, 2);
+        assert!(!r.partitions[0].done);
+    }
+
+    #[test]
+    fn duplicate_responses_are_detected() {
+        let mut r = ActiveRequest::new(RequestId::new(1), SimTime::ZERO, 1);
+        assert!(r.complete_partition(0));
+        assert!(!r.complete_partition(0), "second response is a duplicate");
+        assert!(r.stage_complete());
+    }
+}

@@ -1,0 +1,218 @@
+//! Integration tests of the simulator's fine-grained mechanics: the
+//! cancellation race, reissue replica selection, censoring at the horizon,
+//! utilisation-scaled demand contributions, and migration behaviour.
+
+use pcs_sim::{
+    BasicPolicy, DeploymentConfig, DispatchPolicy, MigrationRequest, NoopScheduler,
+    SchedulerContext, SchedulerHook, SimConfig, Simulation,
+};
+use pcs_types::{ComponentId, NodeId, SimDuration};
+use pcs_workloads::ServiceTopology;
+use rand::rngs::SmallRng;
+
+fn quiet_config(rate: f64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(6), rate, seed);
+    cfg.node_count = 8;
+    cfg.horizon = SimDuration::from_secs(10);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.jobgen = None;
+    cfg
+}
+
+/// A 2-way "always duplicate" policy with cancellation — a miniature RED-2
+/// defined locally so this crate's tests don't depend on pcs-baselines.
+struct AlwaysDuplicate;
+
+impl DispatchPolicy for AlwaysDuplicate {
+    fn name(&self) -> &'static str {
+        "DUP-2"
+    }
+    fn replication(&self) -> usize {
+        2
+    }
+    fn initial_targets(
+        &mut self,
+        replicas: &[ComponentId],
+        _rng: &mut SmallRng,
+        out: &mut Vec<ComponentId>,
+    ) {
+        out.extend_from_slice(replicas);
+    }
+    fn reissue_delay(&mut self, _class: usize) -> Option<SimDuration> {
+        None
+    }
+    fn observe_latency(&mut self, _class: usize, _latency: SimDuration) {}
+    fn cancel_on_start(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn duplicates_create_waste_and_cancellations() {
+    let mut cfg = quiet_config(150.0, 3);
+    cfg.deployment = DeploymentConfig { replication: 2 };
+    let report = Simulation::new(cfg, Box::new(AlwaysDuplicate), Box::new(NoopScheduler)).run();
+    assert!(report.stats.requests_completed > 500);
+    // On a quiet cluster both replicas usually start before the 3 ms
+    // cancellation arrives: wasted executions must be substantial…
+    assert!(
+        report.stats.wasted_executions > report.stats.requests_completed,
+        "waste {} vs completed {}",
+        report.stats.wasted_executions,
+        report.stats.requests_completed
+    );
+    // …and executions ≈ completions × (stages served once + duplicated
+    // searching work), never more than 2× the sub-request count.
+    let subrequests = report.stats.requests_completed * 8; // 1 + 6 + 1
+    assert!(report.stats.executions <= 2 * subrequests);
+}
+
+#[test]
+fn faster_cancellation_reduces_waste() {
+    let mk = |cancel_us: u64| {
+        let mut cfg = quiet_config(150.0, 3);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        cfg.cancel_delay = SimDuration::from_micros(cancel_us);
+        Simulation::new(cfg, Box::new(AlwaysDuplicate), Box::new(NoopScheduler)).run()
+    };
+    // At 150 req/s queues are non-empty often enough for cancellation
+    // speed to matter.
+    let slow = mk(5_000);
+    let fast = mk(10);
+    assert!(
+        fast.stats.wasted_executions < slow.stats.wasted_executions,
+        "fast cancels must waste less: {} vs {}",
+        fast.stats.wasted_executions,
+        slow.stats.wasted_executions
+    );
+}
+
+#[test]
+fn saturated_run_censors_requests() {
+    // 2 nodes, tiny drain grace, brutal load: the run must cut off with
+    // in-flight requests reported as censored rather than hanging.
+    let mut cfg = quiet_config(4000.0, 7);
+    cfg.node_count = 2;
+    cfg.horizon = SimDuration::from_secs(5);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.drain_grace = SimDuration::from_millis(100);
+    let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(NoopScheduler)).run();
+    assert!(
+        report.stats.requests_censored > 0,
+        "overload must leave censored requests"
+    );
+}
+
+/// Captures the utilisation-scaled demand the scheduler hook sees.
+struct DemandProbe {
+    observed: std::sync::Arc<std::sync::Mutex<Vec<f64>>>,
+}
+
+impl SchedulerHook for DemandProbe {
+    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+        // Record the searching components' own-demand core values.
+        let mut cores: Vec<f64> = ctx
+            .components
+            .iter()
+            .filter(|c| c.stage == 1)
+            .map(|c| c.own_demand.cores)
+            .collect();
+        self.observed.lock().unwrap().append(&mut cores);
+        Vec::new()
+    }
+}
+
+#[test]
+fn component_demand_scales_with_utilization() {
+    let observed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let probe = DemandProbe {
+        observed: observed.clone(),
+    };
+    // Light load: searching components are nearly idle.
+    let cfg = quiet_config(20.0, 5);
+    Simulation::new(cfg, Box::new(BasicPolicy), Box::new(probe)).run();
+    let light: Vec<f64> = observed.lock().unwrap().clone();
+    assert!(!light.is_empty());
+    let light_mean = light.iter().sum::<f64>() / light.len() as f64;
+
+    let observed2 = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let probe = DemandProbe {
+        observed: observed2.clone(),
+    };
+    let cfg = quiet_config(600.0, 5);
+    Simulation::new(cfg, Box::new(BasicPolicy), Box::new(probe)).run();
+    let heavy: Vec<f64> = observed2.lock().unwrap().clone();
+    let heavy_mean = heavy.iter().sum::<f64>() / heavy.len() as f64;
+
+    assert!(
+        heavy_mean > light_mean * 5.0,
+        "demand must track utilisation: light {light_mean:.4} vs heavy {heavy_mean:.4} cores"
+    );
+    assert!(
+        light_mean < 0.1,
+        "nearly idle components must contribute almost nothing, got {light_mean:.4}"
+    );
+}
+
+/// Orders one migration per interval, round-robin over nodes.
+struct Roamer {
+    next: u32,
+}
+
+impl SchedulerHook for Roamer {
+    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+        let target = NodeId::new(self.next % ctx.node_capacities.len() as u32);
+        self.next += 1;
+        let comp = ctx.components[1];
+        if comp.migrating || comp.node == target {
+            return Vec::new();
+        }
+        vec![MigrationRequest {
+            component: comp.id,
+            to: target,
+        }]
+    }
+}
+
+#[test]
+fn migrations_never_lose_requests() {
+    // A component that keeps moving while serving traffic must not drop
+    // or duplicate any work.
+    let cfg = quiet_config(200.0, 13);
+    let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(Roamer { next: 0 })).run();
+    assert!(report.stats.migrations >= 3);
+    assert_eq!(report.stats.requests_censored, 0);
+    assert_eq!(report.stats.wasted_executions, 0);
+    assert_eq!(
+        report.stats.executions,
+        report.stats.requests_completed * 8,
+        "exactly one execution per sub-request"
+    );
+}
+
+#[test]
+fn warmup_excludes_startup_transient() {
+    // With a warm-up, the measured window starts populated; counters only
+    // reflect the post-warm-up period.
+    let mut with_warmup = quiet_config(100.0, 21);
+    with_warmup.horizon = SimDuration::from_secs(10);
+    with_warmup.warmup = SimDuration::from_secs(5);
+    let a = Simulation::new(
+        with_warmup,
+        Box::new(BasicPolicy),
+        Box::new(NoopScheduler),
+    )
+    .run();
+
+    let mut no_warmup = quiet_config(100.0, 21);
+    no_warmup.horizon = SimDuration::from_secs(10);
+    no_warmup.warmup = SimDuration::from_micros(1);
+    let b = Simulation::new(no_warmup, Box::new(BasicPolicy), Box::new(NoopScheduler)).run();
+
+    assert!(
+        a.stats.requests_completed < b.stats.requests_completed,
+        "warm-up must shrink the measured population: {} vs {}",
+        a.stats.requests_completed,
+        b.stats.requests_completed
+    );
+}

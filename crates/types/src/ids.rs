@@ -1,0 +1,129 @@
+//! Strongly-typed identifiers for simulation entities.
+//!
+//! Each id is a `u32` newtype: cheap to copy, hashable, and impossible to
+//! confuse with one another (a `ComponentId` never indexes a node table).
+//! Ids double as dense indices into the owning collections, which is how the
+//! performance matrix addresses rows (components) and columns (nodes).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The id as a `usize`, for indexing dense tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense table index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A physical machine in the cluster (paper: "node").
+    NodeId,
+    "n"
+);
+define_id!(
+    /// A service component (paper: `c_i`), e.g. one searching partition.
+    ComponentId,
+    "c"
+);
+define_id!(
+    /// A virtual machine or container hosted on a node.
+    VmId,
+    "vm"
+);
+define_id!(
+    /// A user request travelling through the multi-stage service.
+    RequestId,
+    "r"
+);
+define_id!(
+    /// A co-located batch job (Hadoop/Spark analytics job).
+    JobId,
+    "j"
+);
+define_id!(
+    /// A sequential stage of the service topology (paper: stage `j`).
+    StageId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let c = ComponentId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(c.raw(), 42);
+        assert_eq!(ComponentId::new(42), c);
+    }
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(ComponentId::new(7).to_string(), "c7");
+        assert_eq!(RequestId::new(0).to_string(), "r0");
+        assert_eq!(JobId::new(9).to_string(), "j9");
+        assert_eq!(StageId::new(1).to_string(), "s1");
+        assert_eq!(VmId::new(2).to_string(), "vm2");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,39 @@
+//! # pcs-types
+//!
+//! Shared primitive types for the PCS (Predictive Component-level
+//! Scheduling) reproduction: simulation time, entity identifiers, resource
+//! demand vectors, contention vectors (paper Table II), and node capacity
+//! descriptions.
+//!
+//! Every other crate in the workspace builds on these types, so they are
+//! deliberately small, `Copy` where possible, and free of heavy
+//! dependencies.
+//!
+//! ## Unit conventions
+//!
+//! * Time is [`SimTime`] / [`SimDuration`]: integer **microseconds** since
+//!   simulation start. Integer time makes event ordering exact and runs
+//!   reproducible; helpers convert to/from seconds and milliseconds.
+//! * CPU demand is expressed in **cores** (1.0 = one fully-busy core).
+//! * Shared-cache pressure is expressed in **MPKI** (misses per kilo
+//!   instruction) contributed to co-runners, following paper Table II.
+//! * Disk and network bandwidth are expressed in **MB/s**.
+//! * A [`ContentionVector`] is the *observed*, node-normalised form used by
+//!   the paper's monitors and performance model: core usage and bandwidth
+//!   figures are fractions of node capacity (oversubscription pushes them
+//!   above 1.0, like a per-core load average), MPKI stays absolute.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contention;
+pub mod error;
+pub mod ids;
+pub mod resources;
+pub mod time;
+
+pub use contention::{ContentionVector, CONTENTION_DIMS};
+pub use error::PcsError;
+pub use ids::{ComponentId, JobId, NodeId, RequestId, StageId, VmId};
+pub use resources::{NodeCapacity, ResourceKind, ResourceVector};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,163 @@
+//! Request arrival processes.
+//!
+//! The paper's extended model assumes Poisson request arrivals (the M in
+//! M/G/1), and the evaluation sweeps fixed rates of 10–500 requests/second
+//! "to compare the latency reduction techniques under online services'
+//! diurnal variation in load". [`Poisson`] provides the fixed-rate process;
+//! [`DiurnalPoisson`] modulates the rate sinusoidally for long-horizon
+//! experiments.
+
+use pcs_queueing::{Exponential, ServiceDistribution};
+use pcs_types::{SimDuration, SimTime};
+use rand::Rng;
+
+/// A stochastic request arrival process.
+pub trait ArrivalProcess {
+    /// Samples the gap until the next arrival, given the current time.
+    fn next_interarrival<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> SimDuration;
+
+    /// The instantaneous arrival rate (req/s) at `now`, for reporting.
+    fn rate_at(&self, now: SimTime) -> f64;
+}
+
+/// Homogeneous Poisson arrivals at a fixed rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    rate: f64,
+    interarrival: Exponential,
+}
+
+impl Poisson {
+    /// Creates a Poisson process with the given rate (requests/second).
+    ///
+    /// # Panics
+    /// Panics unless the rate is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be finite and positive, got {rate}"
+        );
+        Poisson {
+            rate,
+            interarrival: Exponential::new(rate),
+        }
+    }
+
+    /// The configured rate (req/s).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_interarrival<R: Rng + ?Sized>(&self, _now: SimTime, rng: &mut R) -> SimDuration {
+        SimDuration::from_secs_f64(self.interarrival.sample(rng))
+    }
+
+    fn rate_at(&self, _now: SimTime) -> f64 {
+        self.rate
+    }
+}
+
+/// A non-homogeneous Poisson process whose rate follows a sinusoidal
+/// diurnal pattern: `λ(t) = base · (1 + amplitude·sin(2πt/period))`.
+///
+/// Sampled by thinning-free local approximation: the interarrival is drawn
+/// from the instantaneous rate, which is accurate when the period is much
+/// longer than a typical interarrival gap (true for diurnal patterns).
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalPoisson {
+    base_rate: f64,
+    amplitude: f64,
+    period: SimDuration,
+}
+
+impl DiurnalPoisson {
+    /// Creates a diurnal process.
+    ///
+    /// # Panics
+    /// Panics unless `base_rate > 0`, `0 <= amplitude < 1`, and the period
+    /// is non-zero.
+    pub fn new(base_rate: f64, amplitude: f64, period: SimDuration) -> Self {
+        assert!(
+            base_rate.is_finite() && base_rate > 0.0,
+            "base rate must be finite and positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0,1), got {amplitude}"
+        );
+        assert!(!period.is_zero(), "period must be non-zero");
+        DiurnalPoisson {
+            base_rate,
+            amplitude,
+            period,
+        }
+    }
+}
+
+impl ArrivalProcess for DiurnalPoisson {
+    fn next_interarrival<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> SimDuration {
+        let rate = self.rate_at(now);
+        SimDuration::from_secs_f64(Exponential::new(rate).sample(rng))
+    }
+
+    fn rate_at(&self, now: SimTime) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * now.as_secs_f64() / self.period.as_secs_f64();
+        self.base_rate * (1.0 + self.amplitude * phase.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_interarrival_matches_rate() {
+        let p = Poisson::new(100.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: f64 = (0..n)
+            .map(|_| p.next_interarrival(SimTime::ZERO, &mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 0.01).abs() / 0.01 < 0.02,
+            "mean interarrival {mean} should be ~10ms"
+        );
+    }
+
+    #[test]
+    fn poisson_rate_is_constant() {
+        let p = Poisson::new(42.0);
+        assert_eq!(p.rate_at(SimTime::ZERO), 42.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(1000)), 42.0);
+        assert_eq!(p.rate(), 42.0);
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates_around_base() {
+        let d = DiurnalPoisson::new(100.0, 0.5, SimDuration::from_secs(86_400));
+        let quarter = SimTime::from_secs(86_400 / 4); // sin peak
+        let three_quarter = SimTime::from_secs(3 * 86_400 / 4); // sin trough
+        assert!((d.rate_at(quarter) - 150.0).abs() < 1.0);
+        assert!((d.rate_at(three_quarter) - 50.0).abs() < 1.0);
+        assert!((d.rate_at(SimTime::ZERO) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_rate_never_non_positive() {
+        let d = DiurnalPoisson::new(10.0, 0.99, SimDuration::from_secs(3600));
+        for s in 0..3600 {
+            assert!(d.rate_at(SimTime::from_secs(s)) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = Poisson::new(0.0);
+    }
+}
