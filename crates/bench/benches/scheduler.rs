@@ -12,9 +12,13 @@ fn bench_matrix_build(c: &mut Criterion) {
     group.sample_size(20);
     for (m, k) in [(40, 8), (160, 32), (640, 128)] {
         let inputs = synthetic_inputs(m, k, 7);
-        group.bench_with_input(BenchmarkId::new("analysis", format!("{m}x{k}")), &inputs, |b, inputs| {
-            b.iter(|| PerformanceMatrix::build(inputs, &models, MatrixConfig::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("analysis", format!("{m}x{k}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| PerformanceMatrix::build(inputs, &models, MatrixConfig::default()))
+            },
+        );
     }
     group.finish();
 }

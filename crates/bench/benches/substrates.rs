@@ -41,7 +41,9 @@ fn training_set() -> SampleSet {
 fn bench_regression(c: &mut Criterion) {
     let set = training_set();
     c.bench_function("eq1_train_500_samples", |b| {
-        b.iter(|| train_class_models(std::slice::from_ref(&set), TrainingConfig::default(), 0.0).unwrap())
+        b.iter(|| {
+            train_class_models(std::slice::from_ref(&set), TrainingConfig::default(), 0.0).unwrap()
+        })
     });
     let (models, _) = train_class_models(&[set], TrainingConfig::default(), 0.0).unwrap();
     let models: ClassModelSet = models;
@@ -56,8 +58,7 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("nutch24_rate100_5s", |b| {
         b.iter(|| {
-            let mut config =
-                SimConfig::paper_like(ServiceTopology::nutch(24), 100.0, 42);
+            let mut config = SimConfig::paper_like(ServiceTopology::nutch(24), 100.0, 42);
             config.horizon = SimDuration::from_secs(5);
             config.warmup = SimDuration::from_secs(1);
             Simulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler)).run()
@@ -66,5 +67,11 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mg1, bench_p2, bench_regression, bench_simulator);
+criterion_group!(
+    benches,
+    bench_mg1,
+    bench_p2,
+    bench_regression,
+    bench_simulator
+);
 criterion_main!(benches);

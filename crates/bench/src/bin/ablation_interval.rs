@@ -12,8 +12,7 @@ use pcs_types::{NodeCapacity, SimDuration};
 
 fn main() {
     let topology = fig6::topology_for(Technique::Pcs, 100);
-    let models =
-        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
     let intervals_s = [1.0, 2.0, 5.0, 10.0, 20.0];
     let rates = [200.0, 500.0];
 
@@ -40,8 +39,7 @@ fn main() {
                 },
                 MatrixConfig::default(),
             );
-            let report =
-                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            let report = Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
             rows.push(vec![
                 tables::f(rate, 0),
                 tables::f(interval, 1),

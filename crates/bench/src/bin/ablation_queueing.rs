@@ -13,8 +13,7 @@ use pcs_types::NodeCapacity;
 
 fn main() {
     let topology = fig6::topology_for(Technique::Pcs, 100);
-    let models =
-        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
     let rates = [50.0, 200.0, 500.0];
 
     println!("== Ablation: M/G/1 (observed SCV) vs M/M/1 (SCV = 1) ==\n");
@@ -42,8 +41,7 @@ fn main() {
             if let Some(scv) = scv_override {
                 controller = controller.with_scv_override(scv);
             }
-            let report =
-                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            let report = Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
             rows.push(vec![
                 tables::f(rate, 0),
                 label.to_string(),

@@ -15,8 +15,7 @@ use pcs_types::NodeCapacity;
 
 fn main() {
     let topology = fig6::topology_for(Technique::Pcs, 100);
-    let models =
-        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
     let epsilons = [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3];
     let rates = [50.0, 500.0];
 

@@ -17,8 +17,7 @@ use pcs_types::NodeCapacity;
 
 fn main() {
     let topology = fig6::topology_for(Technique::Pcs, 100);
-    let models =
-        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
+    let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 62015).unwrap();
     let tolerances = [0.0, 0.1, 0.25, 0.5];
     let rates = [50.0, 500.0];
 
@@ -47,8 +46,7 @@ fn main() {
                     ..MatrixConfig::default()
                 },
             );
-            let report =
-                Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
+            let report = Simulation::new(config, Box::new(BasicPolicy), Box::new(controller)).run();
             rows.push(vec![
                 tables::f(rate, 0),
                 tables::f(tol, 2),

@@ -182,10 +182,13 @@ mod tests {
     fn matches_flat_scheduler_when_under_cap() {
         let models = linear_models();
         let inputs = inputs(12, 6);
-        let flat = ComponentScheduler::new(config())
-            .schedule(&inputs, &models, MatrixConfig::default());
-        let hier = HierarchicalScheduler::new(config(), 64)
-            .schedule(&inputs, &models, MatrixConfig::default());
+        let flat =
+            ComponentScheduler::new(config()).schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 64).schedule(
+            &inputs,
+            &models,
+            MatrixConfig::default(),
+        );
         assert_eq!(flat.decisions, hier.decisions);
         assert_eq!(flat.final_allocation, hier.final_allocation);
     }
@@ -194,8 +197,11 @@ mod tests {
     fn grouped_scheduling_still_improves() {
         let models = linear_models();
         let inputs = inputs(48, 8);
-        let hier = HierarchicalScheduler::new(config(), 16)
-            .schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 16).schedule(
+            &inputs,
+            &models,
+            MatrixConfig::default(),
+        );
         assert!(
             !hier.decisions.is_empty(),
             "imbalanced cluster must trigger migrations"
@@ -214,8 +220,11 @@ mod tests {
         // ids 0..10, then 10..20, then 20..25.
         let models = linear_models();
         let inputs = inputs(25, 5);
-        let hier = HierarchicalScheduler::new(config(), 10)
-            .schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 10).schedule(
+            &inputs,
+            &models,
+            MatrixConfig::default(),
+        );
         let mut last_group = 0;
         for d in &hier.decisions {
             let group = d.component.index() / 10;
@@ -236,8 +245,11 @@ mod tests {
         let models = linear_models();
         let inputs = inputs(200, 20);
         let cap = 25;
-        let hier = HierarchicalScheduler::new(config(), cap)
-            .schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), cap).schedule(
+            &inputs,
+            &models,
+            MatrixConfig::default(),
+        );
         let groups = 200usize.div_ceil(cap);
         assert!(hier.iterations <= groups * (cap + 1));
     }

@@ -74,7 +74,11 @@ impl MatrixInputs {
             assert!(n.demand.is_valid(), "node {i} has invalid demand");
         }
         for (i, c) in self.components.iter().enumerate() {
-            assert_eq!(c.id.index(), i, "component inputs must be dense and ordered");
+            assert_eq!(
+                c.id.index(),
+                i,
+                "component inputs must be dense and ordered"
+            );
             assert!(
                 c.node.index() < self.nodes.len(),
                 "component {i} hosted on unknown node {}",

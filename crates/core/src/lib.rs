@@ -40,11 +40,11 @@ pub mod service;
 pub mod threshold;
 pub mod training;
 
+pub use hierarchical::HierarchicalScheduler;
 pub use inputs::{ComponentInput, MatrixInputs, NodeInput};
 pub use matrix::{MatrixConfig, PerformanceMatrix};
 pub use predictor::{ClassModelSet, LatencyPredictor, PredictionMode};
 pub use scheduler::{ComponentScheduler, MigrationDecision, ScheduleOutcome, SchedulerConfig};
-pub use hierarchical::HierarchicalScheduler;
 pub use service::StageLatencyIndex;
 pub use threshold::ThresholdPolicy;
 pub use training::train_class_models;

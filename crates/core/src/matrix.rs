@@ -295,8 +295,7 @@ impl PerformanceMatrix {
         let d_ci = self.comps[i.index()].demand;
 
         // Move the component.
-        self.node_demand[origin.index()] =
-            self.node_demand[origin.index()].saturating_sub(&d_ci);
+        self.node_demand[origin.index()] = self.node_demand[origin.index()].saturating_sub(&d_ci);
         self.node_demand[destination.index()] += d_ci;
         let residents = &mut self.node_components[origin.index()];
         let pos = residents
@@ -394,8 +393,7 @@ impl PerformanceMatrix {
         // Small per-entry override buffer: the migrant + residents of the
         // two touched nodes.
         let mut overrides: Vec<(ComponentId, f64)> = Vec::with_capacity(
-            1 + self.node_components[origin.index()].len()
-                + self.node_components[j.index()].len(),
+            1 + self.node_components[origin.index()].len() + self.node_components[j.index()].len(),
         );
 
         // Migrant: Table III row 1 — experiences the destination's
@@ -430,8 +428,8 @@ impl PerformanceMatrix {
         let state = &self.comps[c.index()];
         let cap = &self.caps[node.index()];
         let mean_u = cap.normalize(&demand);
-        let predictor =
-            LatencyPredictor::new(&self.models, self.config.mode).with_saturation(self.config.saturation);
+        let predictor = LatencyPredictor::new(&self.models, self.config.mode)
+            .with_saturation(self.config.saturation);
         let breakdown = match self.config.mode {
             PredictionMode::MeanContention => predictor
                 .latency(state.class, &mean_u, &[], state.arrival_rate, state.scv)
@@ -442,17 +440,21 @@ impl PerformanceMatrix {
                 let delta = cap.normalize(&(demand - self.node_demand[node.index()]));
                 let shifted: Vec<ContentionVector> = self.node_samples[node.index()]
                     .iter()
-                    .map(|s| {
-                        ContentionVector {
-                            core_usage: (s.core_usage + delta.core_usage).max(0.0),
-                            cache_mpki: (s.cache_mpki + delta.cache_mpki).max(0.0),
-                            disk_util: (s.disk_util + delta.disk_util).max(0.0),
-                            net_util: (s.net_util + delta.net_util).max(0.0),
-                        }
+                    .map(|s| ContentionVector {
+                        core_usage: (s.core_usage + delta.core_usage).max(0.0),
+                        cache_mpki: (s.cache_mpki + delta.cache_mpki).max(0.0),
+                        disk_util: (s.disk_util + delta.disk_util).max(0.0),
+                        net_util: (s.net_util + delta.net_util).max(0.0),
                     })
                     .collect();
                 predictor
-                    .latency(state.class, &mean_u, &shifted, state.arrival_rate, state.scv)
+                    .latency(
+                        state.class,
+                        &mean_u,
+                        &shifted,
+                        state.arrival_rate,
+                        state.scv,
+                    )
                     .expect("class validated at build time")
             }
         };
@@ -484,10 +486,7 @@ mod tests {
         let mut set = SampleSet::new();
         for i in 0..50 {
             let t = i as f64 / 50.0 * 2.0;
-            set.push(
-                ContentionVector::new(t, 0.0, 0.0, 0.0),
-                0.001 * (1.0 + t),
-            );
+            set.push(ContentionVector::new(t, 0.0, 0.0, 0.0), 0.001 * (1.0 + t));
         }
         let model = CombinedServiceTimeModel::train(&set, TrainingConfig::default()).unwrap();
         ClassModelSet::new(vec![model])
@@ -549,7 +548,9 @@ mod tests {
             "got {got}, expected ~{expected}"
         );
         // Single stage, two components → overall = max of the two.
-        assert!((m.overall_latency() - got.max(m.component_latency(ComponentId::new(1)))).abs() < 1e-12);
+        assert!(
+            (m.overall_latency() - got.max(m.component_latency(ComponentId::new(1)))).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -591,8 +592,7 @@ mod tests {
     #[test]
     fn apply_migration_moves_demand_and_updates_state() {
         let models = linear_model();
-        let mut m =
-            PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
+        let mut m = PerformanceMatrix::build(&two_node_inputs(), &models, MatrixConfig::default());
         let candidates = vec![true, true];
         let before_overall = m.overall_latency();
         let origin = m.apply_migration(ComponentId::new(0), NodeId::new(1), &candidates);
@@ -658,8 +658,7 @@ mod tests {
         let mut inputs = two_node_inputs();
         // Constant samples equal to the node mean → PerSample adds zero
         // contention variance and must agree with MeanContention.
-        inputs.nodes[0].samples =
-            vec![ContentionVector::new(8.0 / 12.0, 0.0, 0.0, 0.0); 10];
+        inputs.nodes[0].samples = vec![ContentionVector::new(8.0 / 12.0, 0.0, 0.0, 0.0); 10];
         inputs.nodes[1].samples = vec![ContentionVector::ZERO; 10];
         let cfg_mean = MatrixConfig::default();
         let cfg_ps = MatrixConfig {

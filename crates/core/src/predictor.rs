@@ -190,13 +190,14 @@ mod tests {
     fn service_time_tracks_contention() {
         let models = linear_models();
         let p = LatencyPredictor::new(&models, PredictionMode::MeanContention);
-        let idle = p
-            .service_time(0, &ContentionVector::ZERO)
-            .unwrap();
+        let idle = p.service_time(0, &ContentionVector::ZERO).unwrap();
         let busy = p
             .service_time(0, &ContentionVector::new(0.8, 8.0, 0.4, 0.2))
             .unwrap();
-        assert!(busy > idle, "contention must inflate predicted service time");
+        assert!(
+            busy > idle,
+            "contention must inflate predicted service time"
+        );
         assert!((idle - 0.001).abs() < 1e-4);
     }
 

@@ -292,8 +292,7 @@ mod tests {
     fn predicted_latency_never_increases_along_greedy_sequence() {
         let models = linear_models();
         let inputs = inputs(&[10.0, 6.0, 0.0, 2.0], &[0, 0, 1, 1]);
-        let mut matrix =
-            PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
         let before = matrix.overall_latency();
         let scheduler = ComponentScheduler::new(SchedulerConfig {
             epsilon_secs: 0.00001,

@@ -40,7 +40,10 @@ impl StageLatencyIndex {
         assert!(stage_count > 0, "need at least one stage");
         let mut stages: Vec<Vec<(f64, ComponentId)>> = vec![Vec::new(); stage_count];
         for (i, (&lat, &st)) in latencies.iter().zip(stage_of).enumerate() {
-            assert!(st < stage_count, "component {i} has out-of-range stage {st}");
+            assert!(
+                st < stage_count,
+                "component {i} has out-of-range stage {st}"
+            );
             assert!(
                 lat.is_finite() && lat >= 0.0,
                 "component {i} has invalid latency {lat}"

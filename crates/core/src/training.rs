@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn trains_multiple_classes_with_good_holdout() {
         let sets = vec![class_set(0.5), class_set(1.5)];
-        let (models, report) =
-            train_class_models(&sets, TrainingConfig::default(), 0.2).unwrap();
+        let (models, report) = train_class_models(&sets, TrainingConfig::default(), 0.2).unwrap();
         assert_eq!(models.len(), 2);
         for (i, err) in report.holdout_mape_pct.iter().enumerate() {
             assert!(

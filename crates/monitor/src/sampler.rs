@@ -214,12 +214,16 @@ mod tests {
         // MPKI ground truth changes, but the next system-level sample still
         // reports the stale counter reading.
         let changed = ContentionVector::new(0.5, 35.0, 0.3, 0.2);
-        let second = s.observe(SimTime::from_secs(1), &changed, &mut rng).unwrap();
+        let second = s
+            .observe(SimTime::from_secs(1), &changed, &mut rng)
+            .unwrap();
         assert_eq!(second.cache_mpki, 20.0, "MPKI must be stale before 60s");
         assert_eq!(second.core_usage, 0.5);
 
         // After the minute boundary the counter is re-read.
-        let third = s.observe(SimTime::from_secs(60), &changed, &mut rng).unwrap();
+        let third = s
+            .observe(SimTime::from_secs(60), &changed, &mut rng)
+            .unwrap();
         assert_eq!(third.cache_mpki, 35.0);
     }
 

@@ -254,7 +254,10 @@ mod tests {
             let rho = 0.90 + i as f64 * 0.005; // crosses the knee and 1.0
             let lambda = rho / xbar;
             let est = Mg1::new(lambda, xbar, 1.2).estimate_with(policy);
-            assert!(est.latency.is_finite(), "latency must stay finite at ρ={rho}");
+            assert!(
+                est.latency.is_finite(),
+                "latency must stay finite at ρ={rho}"
+            );
             assert!(
                 est.latency > prev,
                 "latency must be strictly monotone in ρ (ρ={rho})"

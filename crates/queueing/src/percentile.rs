@@ -19,7 +19,10 @@
 /// Panics if `q` is outside `[0, 1]` or the slice is not sorted (checked in
 /// debug builds only).
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     debug_assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "percentile_sorted requires sorted input"
@@ -138,12 +141,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }

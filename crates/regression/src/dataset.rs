@@ -139,7 +139,10 @@ mod tests {
 
     fn sample(i: usize) -> (ContentionVector, f64) {
         let v = i as f64;
-        (ContentionVector::new(v * 0.1, v, v * 0.01, v * 0.02), v + 1.0)
+        (
+            ContentionVector::new(v * 0.1, v, v * 0.01, v * 0.02),
+            v + 1.0,
+        )
     }
 
     fn set(n: usize) -> SampleSet {

@@ -117,9 +117,7 @@ pub fn error_buckets(errors_pct: &[f64], thresholds_pct: &[f64]) -> Vec<f64> {
     }
     thresholds_pct
         .iter()
-        .map(|&t| {
-            errors_pct.iter().filter(|&&e| e < t).count() as f64 / errors_pct.len() as f64
-        })
+        .map(|&t| errors_pct.iter().filter(|&&e| e < t).count() as f64 / errors_pct.len() as f64)
         .collect()
 }
 

@@ -218,11 +218,19 @@ mod tests {
         // Searching groups are consecutive workers, wrapping around.
         assert_eq!(
             dep.replicas(1, 0),
-            &[ComponentId::new(1), ComponentId::new(2), ComponentId::new(3)]
+            &[
+                ComponentId::new(1),
+                ComponentId::new(2),
+                ComponentId::new(3)
+            ]
         );
         assert_eq!(
             dep.replicas(1, 4),
-            &[ComponentId::new(5), ComponentId::new(1), ComponentId::new(2)]
+            &[
+                ComponentId::new(5),
+                ComponentId::new(1),
+                ComponentId::new(2)
+            ]
         );
         assert_eq!(dep.partition_count(1), 5);
     }

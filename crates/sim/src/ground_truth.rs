@@ -128,7 +128,10 @@ mod tests {
         let gt = GroundTruth::new(&classes());
         let idle = gt.mean_service_time(1, &ContentionVector::ZERO);
         let busy = gt.mean_service_time(1, &ContentionVector::new(0.8, 20.0, 0.5, 0.3));
-        assert!(busy > idle * 1.2, "contention must visibly inflate: {busy} vs {idle}");
+        assert!(
+            busy > idle * 1.2,
+            "contention must visibly inflate: {busy} vs {idle}"
+        );
     }
 
     #[test]

@@ -48,11 +48,10 @@ pub fn anti_affine(
     for i in 0..components.len() {
         let conflicts = |node: NodeId, placed: &[Option<NodeId>]| -> bool {
             memberships[i].iter().any(|g| {
-                components.iter().enumerate().any(|(j, _)| {
-                    j != i
-                        && placed[j] == Some(node)
-                        && memberships[j].contains(g)
-                })
+                components
+                    .iter()
+                    .enumerate()
+                    .any(|(j, _)| j != i && placed[j] == Some(node) && memberships[j].contains(g))
             })
         };
         let mut chosen = NodeId::from_index(cursor % node_count);
@@ -80,8 +79,7 @@ pub fn replicas_on_distinct_nodes(
     for stage in 0..deployment.stage_count() {
         for p in 0..deployment.partition_count(stage as u32) {
             let group = deployment.replicas(stage as u32, p as u32);
-            let mut nodes: Vec<NodeId> =
-                group.iter().map(|c| components[c.index()].node).collect();
+            let mut nodes: Vec<NodeId> = group.iter().map(|c| components[c.index()].node).collect();
             nodes.sort_unstable();
             if nodes.windows(2).any(|w| w[0] == w[1]) {
                 return false;

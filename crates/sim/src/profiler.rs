@@ -182,7 +182,14 @@ mod tests {
             SlowdownSensitivity::NONE,
             ResourceVector::ZERO,
         );
-        let light = measure_mean_service(&cls, 1, NodeCapacity::XEON_E5645, ResourceVector::ZERO, 10, 1);
+        let light = measure_mean_service(
+            &cls,
+            1,
+            NodeCapacity::XEON_E5645,
+            ResourceVector::ZERO,
+            10,
+            1,
+        );
         let heavy = measure_mean_service(
             &cls,
             1,

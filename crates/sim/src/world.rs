@@ -141,7 +141,10 @@ impl Simulation {
 
     fn schedule_initial_events(&mut self) {
         // First request.
-        let t0 = SimTime::ZERO + self.arrivals.next_interarrival(SimTime::ZERO, &mut self.rng);
+        let t0 = SimTime::ZERO
+            + self
+                .arrivals
+                .next_interarrival(SimTime::ZERO, &mut self.rng);
         if t0 <= SimTime::ZERO + self.config.horizon {
             self.queue.schedule(t0, Event::RequestArrival);
         }
@@ -533,11 +536,8 @@ impl Simulation {
                 own_demand: c.contribution,
             })
             .collect();
-        let windows: Vec<Vec<pcs_types::ContentionVector>> = self
-            .samplers
-            .iter_mut()
-            .map(|s| s.drain_window())
-            .collect();
+        let windows: Vec<Vec<pcs_types::ContentionVector>> =
+            self.samplers.iter_mut().map(|s| s.drain_window()).collect();
         let rates: Vec<f64> = (0..self.comps.len())
             .map(|i| self.rate_estimators[i].rate(now))
             .collect();
@@ -729,7 +729,10 @@ mod tests {
         fired: bool,
     }
     impl SchedulerHook for OneShot {
-        fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<crate::policy::MigrationRequest> {
+        fn on_interval(
+            &mut self,
+            ctx: &SchedulerContext<'_>,
+        ) -> Vec<crate::policy::MigrationRequest> {
             if self.fired {
                 return vec![];
             }
@@ -752,7 +755,11 @@ mod tests {
         // Keep the warm-up boundary away from scheduler ticks so the
         // migration counter is not reset in the same event batch.
         cfg.warmup = SimDuration::from_millis(1500);
-        let sim = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(OneShot { fired: false }));
+        let sim = Simulation::new(
+            cfg,
+            Box::new(BasicPolicy),
+            Box::new(OneShot { fired: false }),
+        );
         let before = sim.placement();
         assert_ne!(before[1], NodeId::new(0));
         let report = sim.run();

@@ -197,12 +197,7 @@ fn warmup_excludes_startup_transient() {
     let mut with_warmup = quiet_config(100.0, 21);
     with_warmup.horizon = SimDuration::from_secs(10);
     with_warmup.warmup = SimDuration::from_secs(5);
-    let a = Simulation::new(
-        with_warmup,
-        Box::new(BasicPolicy),
-        Box::new(NoopScheduler),
-    )
-    .run();
+    let a = Simulation::new(with_warmup, Box::new(BasicPolicy), Box::new(NoopScheduler)).run();
 
     let mut no_warmup = quiet_config(100.0, 21);
     no_warmup.horizon = SimDuration::from_secs(10);

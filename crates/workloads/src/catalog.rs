@@ -84,9 +84,9 @@ impl BatchWorkload {
             BatchWorkload::HadoopBayes
             | BatchWorkload::HadoopWordCount
             | BatchWorkload::HadoopPageIndex => Framework::Hadoop,
-            BatchWorkload::SparkBayes | BatchWorkload::SparkWordCount | BatchWorkload::SparkSort => {
-                Framework::Spark
-            }
+            BatchWorkload::SparkBayes
+            | BatchWorkload::SparkWordCount
+            | BatchWorkload::SparkSort => Framework::Spark,
         }
     }
 

@@ -227,7 +227,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(17);
         let mut counts: HashMap<&'static str, usize> = HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(gen.next_job(&mut rng).workload.name()).or_default() += 1;
+            *counts
+                .entry(gen.next_job(&mut rng).workload.name())
+                .or_default() += 1;
         }
         let bayes = counts["Hadoop Bayes"] as f64;
         let sort = counts["Spark Sort"] as f64;
@@ -270,8 +272,7 @@ mod tests {
     #[test]
     fn duration_scale_compresses_jobs() {
         let gen_full = BatchJobGenerator::new(JobGenConfig::paper_mix(30.0));
-        let gen_fast =
-            BatchJobGenerator::new(JobGenConfig::paper_mix_compressed(30.0, 0.1));
+        let gen_fast = BatchJobGenerator::new(JobGenConfig::paper_mix_compressed(30.0, 0.1));
         let mut r1 = SmallRng::seed_from_u64(7);
         let mut r2 = SmallRng::seed_from_u64(7);
         let a = gen_full.next_job(&mut r1);

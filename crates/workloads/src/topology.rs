@@ -62,8 +62,7 @@ impl SlowdownSensitivity {
             coeff * u2 / (1.0 + u2)
         }
         let f_core = 1.0 + self.core * saturating(u.core_usage, 1.15);
-        let f_cache =
-            1.0 + self.cache * 0.016 * u.cache_mpki / (1.0 + u.cache_mpki / 70.0);
+        let f_cache = 1.0 + self.cache * 0.016 * u.cache_mpki / (1.0 + u.cache_mpki / 70.0);
         let f_disk = 1.0 + self.disk * saturating(u.disk_util, 0.75);
         let f_net = 1.0 + self.net * saturating(u.net_util, 0.55);
         f_core * f_cache * f_disk * f_net
@@ -341,10 +340,7 @@ mod tests {
             net: 1.0,
         };
         let extreme = s.slowdown(&ContentionVector::new(50.0, 500.0, 50.0, 50.0));
-        assert!(
-            extreme < 12.0,
-            "slowdown must saturate, got {extreme}"
-        );
+        assert!(extreme < 12.0, "slowdown must saturate, got {extreme}");
         // And the asymptote per dimension matches the documented bounds.
         let core_only = s.slowdown(&ContentionVector::new(1e6, 0.0, 0.0, 0.0));
         assert!((core_only - 2.15).abs() < 1e-3);

@@ -42,8 +42,7 @@ fn main() {
             SamplerConfig::PAPER,
             3,
         );
-        let model =
-            CombinedServiceTimeModel::train(&samples, TrainingConfig::default()).unwrap();
+        let model = CombinedServiceTimeModel::train(&samples, TrainingConfig::default()).unwrap();
 
         for &mb in &sizes {
             let job = JobSpec::new(workload, mb).capped_to_vm(4.0);

@@ -103,7 +103,11 @@ pub fn run(config: Fig5Config) -> Fig5Result {
         let grid = workload.figure5_input_grid();
         let demands: Vec<_> = grid
             .iter()
-            .map(|&mb| JobSpec::new(workload, mb).capped_to_vm(config.vm_cores).demand)
+            .map(|&mb| {
+                JobSpec::new(workload, mb)
+                    .capped_to_vm(config.vm_cores)
+                    .demand
+            })
             .collect();
 
         for (test_idx, &input_mb) in grid.iter().enumerate() {
@@ -160,7 +164,10 @@ pub fn run(config: Fig5Config) -> Fig5Result {
                 capacity,
                 test_demand,
                 config.measure_draws,
-                config.seed.wrapping_add(0x9e3779b9).wrapping_add(test_idx as u64),
+                config
+                    .seed
+                    .wrapping_add(0x9e3779b9)
+                    .wrapping_add(test_idx as u64),
             );
             let error_pct = 100.0 * ((predicted - actual) / actual).abs();
             cases.push(Fig5Case {

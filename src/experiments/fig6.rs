@@ -92,7 +92,12 @@ impl Technique {
 /// requirement; the config's topology should come from [`topology_for`]
 /// (or be a replication-1 topology for Basic/PCS).
 pub fn run_cell(config: &SimConfig, technique: Technique, models: &ClassModelSet) -> RunReport {
-    run_cell_with_epsilon(config, technique, models, Fig6Config::default().epsilon_secs)
+    run_cell_with_epsilon(
+        config,
+        technique,
+        models,
+        Fig6Config::default().epsilon_secs,
+    )
 }
 
 /// [`run_cell`] with an explicit PCS migration threshold.
@@ -329,7 +334,10 @@ mod tests {
             },
         };
         // PCS p99 = 10ms vs RED-3 p99 = 40ms → 75% reduction.
-        let cells = vec![mk(Technique::Pcs, 0.010, 0.020), mk(Technique::Red(3), 0.040, 0.080)];
+        let cells = vec![
+            mk(Technique::Pcs, 0.010, 0.020),
+            mk(Technique::Red(3), 0.040, 0.080),
+        ];
         let h = headline(&cells);
         assert!((h.tail_reduction - 0.75).abs() < 1e-12);
         assert!((h.overall_reduction - 0.75).abs() < 1e-12);

@@ -96,9 +96,11 @@ pub fn synthetic_models() -> ClassModelSet {
         let u = ContentionVector::new(t, 24.0 * t, 0.9 * t, 0.5 * t);
         set.push(u, 0.0012 * (1.0 + 0.9 * t + 0.3 * t * t));
     }
-    ClassModelSet::new(vec![
-        CombinedServiceTimeModel::train(&set, TrainingConfig::default()).unwrap()
-    ])
+    ClassModelSet::new(vec![CombinedServiceTimeModel::train(
+        &set,
+        TrainingConfig::default(),
+    )
+    .unwrap()])
 }
 
 /// Measures one (m, k) point, averaging over `repeats` runs.

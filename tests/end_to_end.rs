@@ -10,18 +10,11 @@ use pcs_types::{NodeCapacity, SimDuration};
 
 fn trained_models(seed: u64) -> ClassModelSet {
     let topology = fig6::topology_for(Technique::Pcs, 48);
-    PcsController::train_for(&topology, NodeCapacity::XEON_E5645, seed)
-        .expect("profiling campaign")
+    PcsController::train_for(&topology, NodeCapacity::XEON_E5645, seed).expect("profiling campaign")
 }
 
-fn cell(
-    models: &ClassModelSet,
-    technique: Technique,
-    rate: f64,
-    seed: u64,
-) -> pcs_sim::RunReport {
-    let mut config =
-        SimConfig::paper_like(fig6::topology_for(technique, 48), rate, seed);
+fn cell(models: &ClassModelSet, technique: Technique, rate: f64, seed: u64) -> pcs_sim::RunReport {
+    let mut config = SimConfig::paper_like(fig6::topology_for(technique, 48), rate, seed);
     config.node_count = 16;
     config.horizon = SimDuration::from_secs(40);
     config.warmup = SimDuration::from_secs(8);

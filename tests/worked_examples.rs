@@ -199,8 +199,7 @@ fn migration_threshold_stops_the_loop() {
 #[test]
 fn algorithm2_refreshes_touched_columns_and_rows() {
     let models = linear_models();
-    let mut matrix =
-        PerformanceMatrix::build(&figure3_inputs(), &models, MatrixConfig::default());
+    let mut matrix = PerformanceMatrix::build(&figure3_inputs(), &models, MatrixConfig::default());
     // Accept the best migration for c1.
     let candidates = [true, true, true, true];
     let best = matrix.best_candidate(&candidates).unwrap();

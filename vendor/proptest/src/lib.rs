@@ -1,0 +1,129 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest the PCS test suites use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`)
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`
+//! * range, tuple, [`Just`], and [`collection::vec`] strategies
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`]
+//!
+//! Differences from the real crate: generation is purely random (no
+//! bias toward boundary values) and failing cases are **not shrunk** —
+//! the panic message instead reports the per-case seed so a failure can
+//! be replayed exactly. Cases are deterministic per test name, so CI
+//! runs are reproducible; set `PROPTEST_CASES` to override the case
+//! count globally.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]` that draws `cases` inputs from the strategies and runs the
+/// body; `prop_assert!`-family failures (or an early `return Ok(())`)
+/// short-circuit the case. An optional leading
+/// `#![proptest_config(expr)]` sets the [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::new(config);
+            runner.run(stringify!($name), |__pcs_proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __pcs_proptest_rng);)+
+                let __pcs_proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                __pcs_proptest_result
+            });
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails only the current proptest case (with the
+/// replay seed in the message) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Like `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}

@@ -1,0 +1,120 @@
+//! The case loop: deterministic per-test seeding, rejection accounting,
+//! and failure reporting with a replayable seed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Construct with [`ProptestConfig::with_cases`] or
+/// [`Default`]; the `PROPTEST_CASES` environment variable overrides both.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold: the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case carrying the unmet precondition.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Executes the configured number of cases for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// Base seed mixed with the test name so every property explores a
+/// different but reproducible sequence. Override per-run replay by
+/// setting `PROPTEST_SEED`.
+const BASE_SEED: u64 = 0x9C50_5350_2015_1CC9; // "PCS" / ICPP 2015
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner, applying the `PROPTEST_CASES` override if set.
+    pub fn new(mut config: ProptestConfig) -> Self {
+        if let Some(cases) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            config.cases = cases;
+        }
+        TestRunner { config }
+    }
+
+    /// Runs `f` until `cases` cases pass, panicking on the first failure.
+    ///
+    /// Rejected cases (`prop_assume!`) do not count toward the target but
+    /// are capped at `10 × cases` to keep a vacuous property from looping
+    /// forever.
+    pub fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        let seed_override = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        let base = seed_override.unwrap_or(BASE_SEED) ^ fnv1a(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            let seed = base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= 10 * self.config.cases as u64,
+                        "proptest `{name}`: too many rejected cases (last: {why})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {case} \
+                         (replay with PROPTEST_SEED={}): {message}",
+                        seed_override.unwrap_or(BASE_SEED)
+                    );
+                }
+            }
+            case += 1;
+        }
+    }
+}
