@@ -1,19 +1,11 @@
 //! # pcs-bench
 //!
-//! Benchmark harness for the PCS reproduction: one binary per paper
-//! artefact (Figures 5–7 and the headline table) plus ablation binaries
-//! for the design choices DESIGN.md calls out, and Criterion micro-benches
-//! for the hot paths.
+//! Criterion micro-benches for the hot paths (matrix construction, the
+//! greedy search, the simulation substrates).
 //!
-//! | binary | artefact |
-//! |---|---|
-//! | `fig5` | Figure 5 — prediction-error distribution |
-//! | `fig6` | Figure 6 — six techniques × six arrival rates |
-//! | `fig7` | Figure 7 — scheduler scalability |
-//! | `headline` | §VI-C headline reductions |
-//! | `ablation_threshold` | migration-threshold ε sweep |
-//! | `ablation_tiebreak` | Algorithm 1 self-gain tie-break on/off |
-//! | `ablation_queueing` | M/G/1 vs M/M/1 latency term |
-//! | `ablation_interval` | scheduling-interval sweep |
-//! | `ablation_rebuild` | Algorithm 2 incremental vs full rebuild |
+//! The experiment binaries that used to live here — one per paper
+//! artefact and ablation — are gone: every experiment is now a scenario
+//! registered with the shared harness and reachable through the single
+//! `pcs` CLI (`cargo run --release --bin pcs -- list`; see the facade
+//! crate's `scenarios` module and `crates/harness`).
 #![warn(missing_docs)]

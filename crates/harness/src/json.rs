@@ -1,0 +1,246 @@
+//! A minimal hand-rolled JSON value and writer.
+//!
+//! The harness emits machine-readable sweep reports (the PCS follow-up
+//! work on job prediction consumes exactly this kind of structured
+//! output). The build environment has no registry access, so rather than
+//! vendoring serde the harness writes JSON by hand — the surface needed
+//! is tiny, and hand-rolling keeps rendering fully deterministic:
+//!
+//! * objects preserve insertion order (no hash-map iteration order),
+//! * floats use Rust's shortest round-trip `Display` (stable across
+//!   platforms and runs),
+//! * non-finite floats render as `null` (JSON has no NaN/∞).
+//!
+//! Byte-identical reports for identical results are a load-bearing
+//! property: the determinism suite compares rendered sweeps across runs
+//! and thread counts.
+
+use std::fmt;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; JSON numbers are not split by sign here).
+    Int(i64),
+    /// A floating-point number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, rendered in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from ordered key/value pairs.
+    pub fn object(pairs: Vec<(String, Json)>) -> Json {
+        Json::Object(pairs)
+    }
+
+    /// Renders the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Appends the compact rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::Num(v) => write_f64(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value as `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A plain-text rendering for table cells: strings unquoted, the rest
+    /// as their JSON form.
+    pub fn to_cell_string(&self) -> String {
+        match self {
+            Json::Str(s) => s.clone(),
+            other => other.render(),
+        }
+    }
+}
+
+/// Writes a float in JSON-safe, deterministic form.
+///
+/// Rust's `Display` for `f64` emits the shortest decimal string that
+/// round-trips, which is a pure function of the bit pattern — exactly the
+/// determinism the reports need. Exponent forms are expanded by `Display`
+/// for the magnitudes experiments produce; non-finite values become
+/// `null`; an integral float gets an explicit `.0` so the value reads
+/// back as a float.
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        // Sweep counters stay far below 2^63; saturate rather than wrap if
+        // one ever does not.
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(2.0).render(), "2.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = Json::object(vec![
+            ("b".into(), Json::Int(1)),
+            ("a".into(), Json::Array(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[null,false]}"#);
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_round_trip() {
+        assert_eq!(Json::Num(0.1).render(), "0.1");
+        assert_eq!(Json::Num(1.0 / 3.0).render(), "0.3333333333333333");
+        let parsed: f64 = "0.3333333333333333".parse().unwrap();
+        assert_eq!(parsed, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Json::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Json::Null.as_f64(), None);
+        assert_eq!(Json::Str("x".into()).to_cell_string(), "x");
+        assert_eq!(Json::Num(2.5).to_cell_string(), "2.5");
+    }
+}

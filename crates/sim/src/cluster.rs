@@ -64,9 +64,20 @@ impl Cluster {
     /// # Panics
     /// Panics on zero nodes.
     pub fn new(node_count: usize, capacity: NodeCapacity) -> Self {
-        assert!(node_count > 0, "need at least one node");
+        Cluster::heterogeneous(vec![capacity; node_count])
+    }
+
+    /// Creates a cluster with per-node capacities (mixed hardware
+    /// generations — the paper's testbed is homogeneous, but real
+    /// clusters rarely are, and the per-node capacity already flows
+    /// through contention normalisation and the scheduler's inputs).
+    ///
+    /// # Panics
+    /// Panics on zero nodes.
+    pub fn heterogeneous(capacities: Vec<NodeCapacity>) -> Self {
+        assert!(!capacities.is_empty(), "need at least one node");
         Cluster {
-            nodes: (0..node_count).map(|_| NodeState::new(capacity)).collect(),
+            nodes: capacities.into_iter().map(NodeState::new).collect(),
             next_job: 0,
         }
     }
@@ -193,6 +204,23 @@ mod tests {
     fn ending_missing_job_panics() {
         let mut c = Cluster::new(1, NodeCapacity::XEON_E5645);
         c.end_job(NodeId::new(0), JobId::new(99));
+    }
+
+    #[test]
+    fn heterogeneous_capacities_shape_contention() {
+        let strong = NodeCapacity::new(24.0, 400.0, 250.0);
+        let weak = NodeCapacity::new(6.0, 100.0, 60.0);
+        let mut c = Cluster::heterogeneous(vec![strong, weak]);
+        let load = ResourceVector::new(3.0, 2.0, 50.0, 30.0);
+        c.start_job(NodeId::new(0), load);
+        c.start_job(NodeId::new(1), load);
+        // The same absolute demand contends 4x harder on the weak node.
+        let u0 = c.contention(NodeId::new(0));
+        let u1 = c.contention(NodeId::new(1));
+        assert!((u0.core_usage - 3.0 / 24.0).abs() < 1e-12);
+        assert!((u1.core_usage - 3.0 / 6.0).abs() < 1e-12);
+        assert!((u1.disk_util - 4.0 * u0.disk_util).abs() < 1e-12);
+        assert_eq!(c.capacities(), vec![strong, weak]);
     }
 
     #[test]

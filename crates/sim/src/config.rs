@@ -2,7 +2,7 @@
 
 use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
-use pcs_workloads::{JobGenConfig, ServiceTopology};
+use pcs_workloads::{ArrivalPattern, JobGenConfig, ServiceTopology};
 
 /// How the service's logical partitions map onto physical components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,12 +33,25 @@ pub struct SimConfig {
     pub node_count: usize,
     /// Per-node hardware capacity (homogeneous, like the paper's testbed).
     pub node_capacity: NodeCapacity,
+    /// Per-node capacities for heterogeneous clusters. When set, its
+    /// length must equal [`SimConfig::node_count`] and it overrides
+    /// [`SimConfig::node_capacity`]; `None` keeps the homogeneous
+    /// testbed.
+    pub node_capacities: Option<Vec<NodeCapacity>>,
     /// The service topology (stages, classes, partition counts).
     pub topology: ServiceTopology,
     /// Replication factor of the deployment.
     pub deployment: DeploymentConfig,
-    /// Request arrival rate (req/s, Poisson).
+    /// Base request arrival rate (req/s).
     pub arrival_rate: f64,
+    /// Shape of the arrival process around the base rate. [`Simulation`]
+    /// builds the concrete [`pcs_workloads::ArrivalProcess`] from this
+    /// (or takes an arbitrary boxed process via
+    /// [`Simulation::with_arrivals`]).
+    ///
+    /// [`Simulation`]: crate::world::Simulation
+    /// [`Simulation::with_arrivals`]: crate::world::Simulation::with_arrivals
+    pub arrival_pattern: ArrivalPattern,
     /// Batch-job churn per node; `None` disables batch jobs.
     pub jobgen: Option<JobGenConfig>,
     /// Monitor sampling cadences and noise.
@@ -79,9 +92,11 @@ impl SimConfig {
             drain_grace: SimDuration::from_secs(5),
             node_count: 30,
             node_capacity: NodeCapacity::XEON_E5645,
+            node_capacities: None,
             topology,
             deployment: DeploymentConfig::SINGLE,
             arrival_rate,
+            arrival_pattern: ArrivalPattern::Steady,
             jobgen: Some(JobGenConfig::paper_mix_compressed(5.0, 0.1)),
             sampler,
             scheduler_interval: SimDuration::from_secs(2),
@@ -114,6 +129,20 @@ impl SimConfig {
             self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
             "arrival rate must be positive"
         );
+        if let Some(caps) = &self.node_capacities {
+            assert_eq!(
+                caps.len(),
+                self.node_count,
+                "node_capacities must list exactly one capacity per node"
+            );
+        }
+        if let ArrivalPattern::Diurnal { amplitude, period } = self.arrival_pattern {
+            assert!(
+                (0.0..1.0).contains(&amplitude),
+                "diurnal amplitude must be in [0,1)"
+            );
+            assert!(!period.is_zero(), "diurnal period must be non-zero");
+        }
         assert!(!self.horizon.is_zero(), "horizon must be non-zero");
         assert!(
             self.warmup < self.horizon,
@@ -151,6 +180,42 @@ mod tests {
         cfg.deployment = DeploymentConfig { replication: 3 };
         cfg.validate();
         assert_eq!(cfg.component_count(), 12);
+    }
+
+    #[test]
+    fn heterogeneous_and_diurnal_config_validate() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 4;
+        cfg.node_capacities = Some(vec![
+            NodeCapacity::XEON_E5645,
+            NodeCapacity::XEON_E5645,
+            NodeCapacity::new(6.0, 100.0, 60.0),
+            NodeCapacity::new(6.0, 100.0, 60.0),
+        ]);
+        cfg.arrival_pattern = ArrivalPattern::Diurnal {
+            amplitude: 0.5,
+            period: SimDuration::from_secs(40),
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per node")]
+    fn mismatched_capacity_list_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_capacities = Some(vec![NodeCapacity::XEON_E5645; 3]);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn out_of_range_amplitude_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.arrival_pattern = ArrivalPattern::Diurnal {
+            amplitude: 1.5,
+            period: SimDuration::from_secs(40),
+        };
+        cfg.validate();
     }
 
     #[test]

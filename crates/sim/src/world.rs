@@ -12,7 +12,7 @@ use crate::policy::{ComponentMeta, DispatchPolicy, SchedulerContext, SchedulerHo
 use crate::request::ActiveRequest;
 use pcs_monitor::{ArrivalRateEstimator, ContentionSampler, ServiceTimeWindow};
 use pcs_types::{ComponentId, NodeId, RequestId, ResourceVector, SimDuration, SimTime};
-use pcs_workloads::{ArrivalProcess, BatchJobGenerator, Poisson};
+use pcs_workloads::{ArrivalProcess, BatchJobGenerator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -30,7 +30,7 @@ pub struct Simulation {
     next_request: u32,
     policy: Box<dyn DispatchPolicy>,
     hook: Box<dyn SchedulerHook>,
-    arrivals: Poisson,
+    arrivals: Box<dyn ArrivalProcess + Send>,
     jobgen: Option<BatchJobGenerator>,
     samplers: Vec<ContentionSampler>,
     rate_estimators: Vec<ArrivalRateEstimator>,
@@ -61,6 +61,24 @@ impl Simulation {
         policy: Box<dyn DispatchPolicy>,
         hook: Box<dyn SchedulerHook>,
     ) -> Self {
+        let arrivals = config.arrival_pattern.build(config.arrival_rate);
+        Simulation::with_arrivals(config, policy, hook, arrivals)
+    }
+
+    /// [`Simulation::new`] with an explicit arrival process, for processes
+    /// beyond what [`SimConfig::arrival_pattern`] can describe (traced
+    /// arrivals, bursty MMPP, …). The config's `arrival_rate` is still
+    /// reported as the run's nominal rate.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid or its deployment replication does
+    /// not match the policy's requirement.
+    pub fn with_arrivals(
+        config: SimConfig,
+        policy: Box<dyn DispatchPolicy>,
+        hook: Box<dyn SchedulerHook>,
+        arrivals: Box<dyn ArrivalProcess + Send>,
+    ) -> Self {
         config.validate();
         assert_eq!(
             config.deployment.replication,
@@ -70,7 +88,10 @@ impl Simulation {
         );
 
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let cluster = Cluster::new(config.node_count, config.node_capacity);
+        let cluster = match &config.node_capacities {
+            Some(caps) => Cluster::heterogeneous(caps.clone()),
+            None => Cluster::new(config.node_count, config.node_capacity),
+        };
         let ground_truth = GroundTruth::new(config.topology.classes());
         let deployment = Deployment::new(&config.topology, config.deployment.replication);
         let mut comps = deployment.instantiate(&config.topology);
@@ -100,7 +121,6 @@ impl Simulation {
             .iter()
             .map(|c| c.service_scv)
             .collect();
-        let arrivals = Poisson::new(config.arrival_rate);
         let jobgen = config.jobgen.clone().map(BatchJobGenerator::new);
         let end_cap = SimTime::ZERO + config.horizon + config.drain_grace;
 
@@ -722,6 +742,50 @@ mod tests {
             Simulation::new(cfg, Box::new(BasicPolicy), Box::new(NoopScheduler))
         }));
         assert!(result.is_err(), "mismatched replication must panic");
+    }
+
+    #[test]
+    fn diurnal_arrivals_complete_and_differ_from_steady() {
+        let mut steady = quiet_config(60.0, 17);
+        steady.horizon = SimDuration::from_secs(10);
+        let mut diurnal = steady.clone();
+        diurnal.arrival_pattern = pcs_workloads::ArrivalPattern::Diurnal {
+            amplitude: 0.8,
+            period: SimDuration::from_secs(10),
+        };
+        let s = run_basic(steady);
+        let d = run_basic(diurnal);
+        // One full sinusoid period averages out to the base rate, so the
+        // diurnal run serves a comparable volume over a different trace.
+        assert!(d.stats.requests_completed > 200);
+        let ratio = d.stats.requests_completed as f64 / s.stats.requests_completed as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "diurnal volume should straddle the steady volume, ratio {ratio}"
+        );
+        assert_ne!(s.stats, d.stats, "modulated arrivals must change the trace");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_slows_weak_node_components() {
+        // All components pinned by anti-affinity round-robin over 6 nodes;
+        // three are 4x weaker in every capacity. Same seed, homogeneous vs
+        // mixed: the mixed cluster must serve strictly slower overall.
+        let mut homo = quiet_config(50.0, 23);
+        homo.jobgen = Some(pcs_workloads::JobGenConfig::paper_mix_compressed(5.0, 0.1));
+        let mut hetero = homo.clone();
+        let strong = pcs_types::NodeCapacity::XEON_E5645;
+        let weak = pcs_types::NodeCapacity::new(3.0, 50.0, 31.25);
+        hetero.node_capacities = Some(vec![strong, weak, strong, weak, strong, weak]);
+        let h = run_basic(homo);
+        let x = run_basic(hetero);
+        assert!(x.stats.requests_completed > 200);
+        assert!(
+            x.overall_latency.mean > h.overall_latency.mean,
+            "weak nodes must inflate latency: {} vs {}",
+            x.overall_latency.mean,
+            h.overall_latency.mean
+        );
     }
 
     /// A hook that migrates component 1 to node 0 once.

@@ -1,0 +1,252 @@
+//! The single `pcs` CLI: runs any registered scenario through the shared
+//! deterministic parallel sweep runner.
+//!
+//! ```text
+//! pcs list
+//! pcs run --scenario fig6 [--rates 50,500] [--seed N] [--threads N]
+//!         [--repeats N] [--smoke] [--json PATH] [--quiet]
+//! ```
+//!
+//! Every experiment that used to be its own `pcs-bench` binary (fig5,
+//! fig6, fig7, headline, the five ablations) is a scenario here, plus the
+//! extended scenarios (`diurnal`, `hetero`). Reports print as the same
+//! plain-text tables the old binaries produced and, with `--json`, as a
+//! machine-readable sweep report whose bytes are reproducible at a fixed
+//! seed for every scenario without wall-clock metrics.
+
+use pcs::scenarios;
+use pcs::tables;
+use pcs_harness::{run_sweep, Json, SweepOutcome, SweepParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{}", usage());
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "pcs - PCS (ICPP 2015) experiment harness\n\
+         \n\
+         USAGE:\n\
+         \x20 pcs list                     list registered scenarios\n\
+         \x20 pcs run --scenario <name>    run one scenario\n\
+         \n\
+         OPTIONS (run):\n\
+         \x20 --scenario <name>   required; see `pcs list`\n\
+         \x20 --seed <u64>        base seed (default: the scenario's)\n\
+         \x20 --threads <n>       worker threads (default: all cores)\n\
+         \x20 --rates <a,b,c>     arrival-rate grid override, req/s\n\
+         \x20 --repeats <n>       repeat count override (fig7)\n\
+         \x20 --smoke             tiny CI budgets (short horizon, small grid)\n\
+         \x20 --json <path>       also write the machine-readable report\n\
+         \x20 --quiet             suppress the cell table\n",
+    );
+    out.push_str("\nSCENARIOS:\n");
+    for scenario in scenarios::registry() {
+        out.push_str(&format!(
+            "  {:<20} {}\n",
+            scenario.name(),
+            scenario.description()
+        ));
+    }
+    out
+}
+
+fn cmd_list() -> i32 {
+    for scenario in scenarios::registry() {
+        println!("{:<20} {}", scenario.name(), scenario.description());
+    }
+    0
+}
+
+struct RunArgs {
+    scenario: String,
+    params: SweepParams,
+    seed_override: Option<u64>,
+    json_path: Option<String>,
+    quiet: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut scenario = None;
+    let mut params = SweepParams::default();
+    let mut seed_override = None;
+    let mut json_path = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => scenario = Some(value("--scenario")?),
+            "--seed" => {
+                seed_override = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                params.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--repeats" => {
+                params.repeats = Some(
+                    value("--repeats")?
+                        .parse()
+                        .map_err(|e| format!("--repeats: {e}"))?,
+                )
+            }
+            "--rates" => {
+                let list = value("--rates")?;
+                let rates: Result<Vec<f64>, _> =
+                    list.split(',').map(|r| r.trim().parse::<f64>()).collect();
+                params.rates = Some(rates.map_err(|e| format!("--rates: {e}"))?);
+            }
+            "--smoke" => params.smoke = true,
+            "--json" => json_path = Some(value("--json")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(RunArgs {
+        scenario: scenario.ok_or("missing --scenario")?,
+        params,
+        seed_override,
+        json_path,
+        quiet,
+    })
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut run = match parse_run_args(args) {
+        Ok(run) => run,
+        Err(message) => {
+            eprintln!("{message}\n\n{}", usage());
+            return 2;
+        }
+    };
+    let Some(scenario) = scenarios::find(&run.scenario) else {
+        eprintln!(
+            "unknown scenario `{}`; `pcs list` shows the registry",
+            run.scenario
+        );
+        return 2;
+    };
+    run.params.seed = run.seed_override.unwrap_or_else(|| scenario.default_seed());
+
+    eprintln!(
+        "running scenario `{}` (seed {}, {} threads{})...",
+        scenario.name(),
+        run.params.seed,
+        run.params.threads,
+        if run.params.smoke { ", smoke" } else { "" }
+    );
+    let plan = scenario.plan(&run.params);
+    let cell_count = plan.cells.len();
+    let outcome = run_sweep(&plan, &run.params);
+
+    if !run.quiet {
+        println!("== {} ==\n", scenario.description());
+        print_cells(&outcome);
+    }
+    print_summary(&outcome);
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    eprintln!("{cell_count} cells done");
+
+    if let Some(path) = &run.json_path {
+        let report = outcome.to_json(scenario.name(), &run.params).render() + "\n";
+        if let Err(error) = std::fs::write(path, report) {
+            eprintln!("writing {path}: {error}");
+            return 1;
+        }
+        eprintln!("JSON report written to {path}");
+    }
+    0
+}
+
+/// True for values the plain-text table can show in one cell.
+fn is_scalar(value: &Json) -> bool {
+    !matches!(value, Json::Array(_) | Json::Object(_))
+}
+
+fn print_cells(outcome: &SweepOutcome) {
+    let Some(first) = outcome.cells.first() else {
+        println!("(no cells)");
+        return;
+    };
+    let columns: Vec<&String> = first
+        .params
+        .iter()
+        .chain(first.metrics.iter())
+        .filter(|(_, v)| is_scalar(v))
+        .map(|(k, _)| k)
+        .collect();
+    let header: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+    let rows: Vec<Vec<String>> = outcome
+        .cells
+        .iter()
+        .map(|cell| {
+            columns
+                .iter()
+                .map(|column| {
+                    cell.value(column)
+                        .map(Json::to_cell_string)
+                        .unwrap_or_default()
+                })
+                .collect()
+        })
+        .collect();
+    println!("{}", tables::render(&header, &rows));
+}
+
+fn print_summary(outcome: &SweepOutcome) {
+    for (key, value) in &outcome.summary {
+        match value {
+            Json::Array(rows) if rows.iter().all(|r| matches!(r, Json::Object(_))) => {
+                let Some(Json::Object(first)) = rows.first() else {
+                    continue;
+                };
+                let header: Vec<String> = first.iter().map(|(k, _)| k.clone()).collect();
+                let table_rows: Vec<Vec<String>> = rows
+                    .iter()
+                    .filter_map(|row| match row {
+                        Json::Object(pairs) => Some(
+                            header
+                                .iter()
+                                .map(|column| {
+                                    pairs
+                                        .iter()
+                                        .find(|(k, _)| k == column)
+                                        .map(|(_, v)| v.to_cell_string())
+                                        .unwrap_or_default()
+                                })
+                                .collect(),
+                        ),
+                        _ => None,
+                    })
+                    .collect();
+                println!("{key}:\n{}", tables::render(&header, &table_rows));
+            }
+            value => println!("{key}: {}", value.to_cell_string()),
+        }
+    }
+}

@@ -169,6 +169,31 @@ pub fn topology_for(_technique: Technique, search_vm_budget: usize) -> ServiceTo
     ServiceTopology::nutch(search_vm_budget)
 }
 
+/// The simulation seed for a sweep cell at a given arrival rate.
+///
+/// Every technique at a rate gets the **same** seed, so techniques are
+/// compared on an identical trace (batch churn, request arrivals, service
+/// noise). The seed is a SplitMix64 mix of the base seed and the rate's
+/// bit pattern: the previous `base + ((rate as u64) << 8)` scheme
+/// truncated fractional rates (50.2 and 50.9 silently shared a seed) and
+/// barely decorrelated neighbouring rates.
+pub fn rate_seed(base_seed: u64, rate: f64) -> u64 {
+    pcs_harness::seed::mix_f64(base_seed, rate)
+}
+
+/// Builds the simulation config for one sweep cell (shared by the sweep
+/// runner and the scenario registrations so both derive identical cells).
+pub fn cell_config(config: &Fig6Config, rate: f64) -> SimConfig {
+    let mut sim_config = SimConfig::paper_like(
+        topology_for(Technique::Pcs, config.search_vm_budget),
+        rate,
+        rate_seed(config.seed, rate),
+    );
+    sim_config.horizon = sim_config.horizon.mul_f64(config.horizon_scale);
+    sim_config.warmup = sim_config.warmup.mul_f64(config.horizon_scale);
+    sim_config
+}
+
 /// One measured cell.
 #[derive(Debug, Clone)]
 pub struct Fig6Cell {
@@ -180,7 +205,10 @@ pub struct Fig6Cell {
     pub report: RunReport,
 }
 
-/// Runs the whole sweep, parallelised across cells.
+/// Runs the whole sweep through the shared deterministic parallel runner:
+/// cells execute work-stealing on `config.threads` workers, results come
+/// back in grid order (rates outer, techniques inner) regardless of the
+/// thread count.
 pub fn run_sweep(config: &Fig6Config) -> Vec<Fig6Cell> {
     // PCS runs at replication 1, so its models are trained against the
     // scale-1 topology's classes.
@@ -195,45 +223,16 @@ pub fn run_sweep(config: &Fig6Config) -> Vec<Fig6Cell> {
         }
     }
 
-    let results = std::sync::Mutex::new(Vec::<Fig6Cell>::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (technique, rate) = jobs[i];
-                // Same seed for every technique at a given rate: identical
-                // batch churn and request-arrival randomness, so techniques
-                // are compared on the same trace.
-                let seed = config.seed.wrapping_add((rate as u64) << 8);
-                let mut sim_config = SimConfig::paper_like(
-                    topology_for(technique, config.search_vm_budget),
-                    rate,
-                    seed,
-                );
-                sim_config.horizon = sim_config.horizon.mul_f64(config.horizon_scale);
-                sim_config.warmup = sim_config.warmup.mul_f64(config.horizon_scale);
-                let report =
-                    run_cell_with_epsilon(&sim_config, technique, &models, config.epsilon_secs);
-                results.lock().unwrap().push(Fig6Cell {
-                    technique,
-                    rate,
-                    report,
-                });
-            });
+    pcs_harness::run_indexed(jobs.len(), config.threads, |i| {
+        let (technique, rate) = jobs[i];
+        let sim_config = cell_config(config, rate);
+        let report = run_cell_with_epsilon(&sim_config, technique, &models, config.epsilon_secs);
+        Fig6Cell {
+            technique,
+            rate,
+            report,
         }
-    });
-
-    let mut cells = results.into_inner().unwrap();
-    cells.sort_by(|a, b| {
-        a.rate
-            .total_cmp(&b.rate)
-            .then_with(|| a.technique.name().cmp(&b.technique.name()))
-    });
-    cells
+    })
 }
 
 /// The paper's headline metric: PCS's mean reduction versus the four
@@ -299,6 +298,17 @@ mod tests {
         assert_eq!(Technique::Red(5).replication(), 5);
         assert_eq!(Technique::Ri(0.99).replication(), 2);
         assert_eq!(Technique::paper_set().len(), 6);
+    }
+
+    #[test]
+    fn rate_seeds_share_traces_but_split_fractional_rates() {
+        // The comparison property: one seed per rate, shared by every
+        // technique (callers key the sim config on the rate alone)…
+        assert_eq!(rate_seed(62015, 50.0), rate_seed(62015, 50.0));
+        // …while fractional rates that the old `(rate as u64) << 8`
+        // scheme collapsed now get distinct seeds.
+        assert_ne!(rate_seed(62015, 50.2), rate_seed(62015, 50.9));
+        assert_ne!(rate_seed(62015, 50.0), rate_seed(62016, 50.0));
     }
 
     #[test]

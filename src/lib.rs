@@ -61,6 +61,7 @@
 
 pub mod controller;
 pub mod experiments;
+pub mod scenarios;
 pub mod tables;
 
 pub use controller::PcsController;

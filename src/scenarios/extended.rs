@@ -1,0 +1,185 @@
+//! New scenarios beyond the paper's evaluation, exercising the widened
+//! simulation layer: diurnally modulated arrivals and heterogeneous node
+//! capacities. Both produce byte-identical JSON reports across repeated
+//! runs and across thread counts at a fixed seed (no wall-clock metrics;
+//! cells are pure functions of their seeds).
+
+use super::{base_grid, kv, pcs_reduction_summary, report_metrics, train_models};
+use crate::experiments::fig6::{self, Technique};
+use pcs_harness::{CellPlan, CellResult, Scenario, SweepParams, SweepPlan};
+use pcs_types::{NodeCapacity, SimDuration};
+use pcs_workloads::ArrivalPattern;
+
+/// The techniques the extended comparisons run (one representative per
+/// family; `--smoke` drops to Basic vs PCS).
+fn extended_techniques(smoke: bool) -> Vec<Technique> {
+    if smoke {
+        vec![Technique::Basic, Technique::Pcs]
+    } else {
+        vec![
+            Technique::Basic,
+            Technique::Red(3),
+            Technique::Ri(0.90),
+            Technique::Pcs,
+        ]
+    }
+}
+
+/// Diurnal load: the paper sweeps fixed rates "to compare the latency
+/// reduction techniques under online services' diurnal variation in
+/// load"; this scenario makes the variation explicit with a
+/// non-homogeneous Poisson process whose rate swings ±70% around the base
+/// over a time-compressed day (period 20 s against the 60 s horizon, so a
+/// run sees three full cycles including two rush-hour crests).
+pub struct DiurnalScenario;
+
+/// The modulation depth of the diurnal sweep.
+const DIURNAL_AMPLITUDE: f64 = 0.7;
+
+/// The time-compressed day length.
+const DIURNAL_PERIOD_SECS: u64 = 20;
+
+impl Scenario for DiurnalScenario {
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+
+    fn description(&self) -> &'static str {
+        "Techniques under sinusoidally modulated (diurnal) arrivals"
+    }
+
+    fn default_seed(&self) -> u64 {
+        62016
+    }
+
+    fn plan(&self, params: &SweepParams) -> SweepPlan {
+        let mut cfg = base_grid(params, &[100.0, 250.0]);
+        cfg.techniques = extended_techniques(params.smoke);
+        let models = train_models(&cfg);
+        let mut cells = Vec::new();
+        for &rate in &cfg.rates {
+            for &technique in &cfg.techniques {
+                let models = models.clone();
+                let cfg = cfg.clone();
+                cells.push(CellPlan {
+                    label: format!("{} @ ~{rate} req/s diurnal", technique.name()),
+                    params: vec![
+                        kv("rate", rate),
+                        kv("technique", technique.name()),
+                        kv("amplitude", DIURNAL_AMPLITUDE),
+                        kv("period_s", DIURNAL_PERIOD_SECS),
+                    ],
+                    // Runner seed unused: techniques at one base rate
+                    // replay the same trace (rate-keyed SplitMix64 seed).
+                    run: Box::new(move |_cell_seed| {
+                        let mut sim_config = fig6::cell_config(&cfg, rate);
+                        sim_config.arrival_pattern = ArrivalPattern::Diurnal {
+                            amplitude: DIURNAL_AMPLITUDE,
+                            period: SimDuration::from_secs(DIURNAL_PERIOD_SECS),
+                        };
+                        let report = fig6::run_cell_with_epsilon(
+                            &sim_config,
+                            technique,
+                            &models,
+                            cfg.epsilon_secs,
+                        );
+                        CellResult {
+                            metrics: report_metrics(&report),
+                        }
+                    }),
+                });
+            }
+        }
+        SweepPlan {
+            cells,
+            summarize: Some(Box::new(pcs_reduction_summary)),
+            notes: vec![format!(
+                "rate(t) = base * (1 + {DIURNAL_AMPLITUDE} sin(2 pi t / {DIURNAL_PERIOD_SECS} s)); crests push the queueing term far past the fixed-rate setting"
+            )],
+        }
+    }
+}
+
+/// Heterogeneous cluster: half the nodes are a generation weaker (half
+/// the cores and bandwidths of the paper's Xeon E5645 testbed boxes), so
+/// the same absolute batch demand contends twice as hard there. PCS's
+/// per-node contention normalisation sees this directly; the blind
+/// techniques cannot steer work away from the weak half.
+pub struct HeteroScenario;
+
+/// The weaker half's capacity: half a Xeon E5645 box in every dimension.
+const WEAK_NODE: NodeCapacity = NodeCapacity {
+    cores: 6.0,
+    disk_mbps: 100.0,
+    net_mbps: 62.5,
+};
+
+/// Alternating strong/weak capacities for an `n`-node cluster.
+pub fn mixed_capacities(n: usize) -> Vec<NodeCapacity> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                NodeCapacity::XEON_E5645
+            } else {
+                WEAK_NODE
+            }
+        })
+        .collect()
+}
+
+impl Scenario for HeteroScenario {
+    fn name(&self) -> &'static str {
+        "hetero"
+    }
+
+    fn description(&self) -> &'static str {
+        "Techniques on a mixed-capacity cluster (alternating full/half-size nodes)"
+    }
+
+    fn default_seed(&self) -> u64 {
+        62017
+    }
+
+    fn plan(&self, params: &SweepParams) -> SweepPlan {
+        let mut cfg = base_grid(params, &[100.0, 300.0]);
+        cfg.techniques = extended_techniques(params.smoke);
+        let models = train_models(&cfg);
+        let mut cells = Vec::new();
+        for &rate in &cfg.rates {
+            for &technique in &cfg.techniques {
+                let models = models.clone();
+                let cfg = cfg.clone();
+                cells.push(CellPlan {
+                    label: format!("{} @ {rate} req/s mixed cluster", technique.name()),
+                    params: vec![
+                        kv("rate", rate),
+                        kv("technique", technique.name()),
+                        kv("weak_node_fraction", 0.5),
+                    ],
+                    // Runner seed unused: same-trace comparison per rate.
+                    run: Box::new(move |_cell_seed| {
+                        let mut sim_config = fig6::cell_config(&cfg, rate);
+                        sim_config.node_capacities = Some(mixed_capacities(sim_config.node_count));
+                        let report = fig6::run_cell_with_epsilon(
+                            &sim_config,
+                            technique,
+                            &models,
+                            cfg.epsilon_secs,
+                        );
+                        CellResult {
+                            metrics: report_metrics(&report),
+                        }
+                    }),
+                });
+            }
+        }
+        SweepPlan {
+            cells,
+            summarize: Some(Box::new(pcs_reduction_summary)),
+            notes: vec![
+                "odd-indexed nodes have half the cores/disk/net of the paper's Xeon E5645 boxes"
+                    .to_string(),
+            ],
+        }
+    }
+}

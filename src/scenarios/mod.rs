@@ -1,0 +1,231 @@
+//! Scenario registrations: every experiment reachable through the `pcs`
+//! CLI.
+//!
+//! A scenario wraps one evaluation grid — which cells exist, how a cell
+//! runs, how the finished grid reduces to summary numbers — behind the
+//! [`pcs_harness::Scenario`] trait. The shared
+//! [`pcs_harness::runner::run_sweep`] executes any of them work-stealing
+//! in parallel with deterministic, index-addressed results, so a
+//! registration here is all it takes to get `pcs run --scenario <name>`
+//! with tables, JSON reports and `--smoke` CI coverage.
+//!
+//! | scenario | paper artefact / question |
+//! |---|---|
+//! | `fig5` | Figure 5 — prediction-error distribution |
+//! | `fig6` | Figure 6 — six techniques × six arrival rates |
+//! | `fig7` | Figure 7 — scheduler scalability (wall-clock) |
+//! | `headline` | §VI-C headline reductions (fig6 grid, reduction view) |
+//! | `ablation-threshold` | migration-threshold ε sweep |
+//! | `ablation-tiebreak` | Algorithm 1 tie tolerance sweep |
+//! | `ablation-queueing` | M/G/1 vs M/M/1 latency term |
+//! | `ablation-interval` | scheduling-interval sweep |
+//! | `ablation-rebuild` | Algorithm 2 incremental vs full rebuild |
+//! | `diurnal` | techniques under sinusoidally modulated load |
+//! | `hetero` | techniques on a mixed-capacity cluster |
+
+pub mod ablations;
+pub mod extended;
+pub mod figures;
+
+use crate::controller::PcsController;
+use crate::experiments::fig6::{Fig6Config, Technique};
+use pcs_core::ClassModelSet;
+use pcs_harness::{CellOutcome, Json, Scenario, SweepParams};
+use pcs_sim::RunReport;
+use pcs_types::NodeCapacity;
+use std::sync::Arc;
+
+/// Every registered scenario, in display order.
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(figures::Fig5Scenario),
+        Box::new(figures::Fig6Scenario),
+        Box::new(figures::Fig7Scenario),
+        Box::new(figures::HeadlineScenario),
+        Box::new(ablations::ThresholdScenario),
+        Box::new(ablations::TiebreakScenario),
+        Box::new(ablations::QueueingScenario),
+        Box::new(ablations::IntervalScenario),
+        Box::new(ablations::RebuildScenario),
+        Box::new(extended::DiurnalScenario),
+        Box::new(extended::HeteroScenario),
+    ]
+}
+
+/// Looks a scenario up by registry name.
+pub fn find(name: &str) -> Option<Box<dyn Scenario>> {
+    registry().into_iter().find(|s| s.name() == name)
+}
+
+/// A `(name, value)` metric/param pair.
+pub(crate) fn kv(name: &str, value: impl Into<Json>) -> (String, Json) {
+    (name.to_string(), value.into())
+}
+
+/// The standard per-cell metrics of a simulation run.
+pub(crate) fn report_metrics(report: &RunReport) -> Vec<(String, Json)> {
+    vec![
+        kv("p99_component_ms", report.component_p99_ms()),
+        kv("mean_overall_ms", report.overall_mean_ms()),
+        kv("requests_completed", report.stats.requests_completed),
+        kv("executions", report.stats.executions),
+        kv("wasted_executions", report.stats.wasted_executions),
+        kv("reissues", report.stats.reissues),
+        kv("migrations", report.stats.migrations),
+    ]
+}
+
+/// The shared grid defaults for simulation-backed scenarios: CLI params
+/// applied over a [`Fig6Config`], with `--smoke` shrinking the searching
+/// pool, the horizon and the rate grid to CI-sized budgets (an explicit
+/// `--rates` still wins).
+pub(crate) fn base_grid(params: &SweepParams, default_rates: &[f64]) -> Fig6Config {
+    let mut cfg = Fig6Config {
+        seed: params.seed,
+        rates: default_rates.to_vec(),
+        ..Fig6Config::default()
+    };
+    if params.smoke {
+        cfg.search_vm_budget = 8;
+        cfg.horizon_scale = 0.2;
+        cfg.rates = vec![80.0];
+    }
+    if let Some(rates) = &params.rates {
+        cfg.rates = rates.clone();
+    }
+    cfg
+}
+
+/// Trains the PCS class models for a grid's topology (shared by every
+/// cell of a sweep, so this runs once in `plan`).
+pub(crate) fn train_models(cfg: &Fig6Config) -> Arc<ClassModelSet> {
+    let topology = crate::experiments::fig6::topology_for(Technique::Pcs, cfg.search_vm_budget);
+    Arc::new(
+        PcsController::train_for(&topology, NodeCapacity::XEON_E5645, cfg.seed)
+            .expect("profiling campaign trains"),
+    )
+}
+
+/// The cross-cell reduction shared by the comparison scenarios: for every
+/// non-PCS cell, PCS's latency reduction at the same rate, plus the mean
+/// over the redundancy/reissue techniques (the paper's §VI-C headline; if
+/// the grid has no RED/RI cells the mean falls back to all non-PCS
+/// techniques).
+pub(crate) fn pcs_reduction_summary(cells: &[CellOutcome]) -> Vec<(String, Json)> {
+    let pcs_at = |rate: f64| {
+        cells.iter().find(|c| {
+            c.value("technique").and_then(Json::as_str) == Some("PCS")
+                && c.value_f64("rate") == Some(rate)
+        })
+    };
+    let mut rows = Vec::new();
+    let mut headline_tail = Vec::new();
+    let mut headline_overall = Vec::new();
+    let mut fallback_tail = Vec::new();
+    let mut fallback_overall = Vec::new();
+    for cell in cells {
+        let Some(technique) = cell.value("technique").and_then(Json::as_str) else {
+            continue;
+        };
+        if technique == "PCS" {
+            continue;
+        }
+        let technique = technique.to_string();
+        let Some(rate) = cell.value_f64("rate") else {
+            continue;
+        };
+        let Some(pcs) = pcs_at(rate) else { continue };
+        // Mirror `fig6::headline`: a degenerate comparison cell (no
+        // completed requests, so a zero or non-finite latency) contributes
+        // nothing rather than a clamped near-infinite "reduction".
+        let reduction = |metric: &str| -> Option<f64> {
+            let other = cell.value_f64(metric)?;
+            let pcs = pcs.value_f64(metric)?;
+            (other > 0.0 && other.is_finite() && pcs.is_finite()).then_some(1.0 - pcs / other)
+        };
+        let tail = reduction("p99_component_ms");
+        let overall = reduction("mean_overall_ms");
+        if tail.is_none() && overall.is_none() {
+            continue;
+        }
+        let is_headline = technique.starts_with("RED") || technique.starts_with("RI");
+        if let Some(tail) = tail {
+            if is_headline {
+                headline_tail.push(tail);
+            }
+            fallback_tail.push(tail);
+        }
+        if let Some(overall) = overall {
+            if is_headline {
+                headline_overall.push(overall);
+            }
+            fallback_overall.push(overall);
+        }
+        let pct = |v: Option<f64>| v.map(|v| Json::Num(v * 100.0)).unwrap_or(Json::Null);
+        rows.push(Json::object(vec![
+            kv("rate", rate),
+            kv("vs_technique", technique),
+            ("tail_reduction_pct".to_string(), pct(tail)),
+            ("overall_reduction_pct".to_string(), pct(overall)),
+        ]));
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let (tail, overall) = if headline_tail.is_empty() {
+        (mean(&fallback_tail), mean(&fallback_overall))
+    } else {
+        (mean(&headline_tail), mean(&headline_overall))
+    };
+    vec![
+        kv("pcs_mean_tail_reduction_pct", tail * 100.0),
+        kv("pcs_mean_overall_reduction_pct", overall * 100.0),
+        ("pcs_reduction_per_cell".to_string(), Json::Array(rows)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 11);
+        for name in &names {
+            assert!(find(name).is_some(), "{name} must be findable");
+            assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
+        }
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn reduction_summary_math() {
+        let mk = |technique: &str, p99: f64, mean: f64| CellOutcome {
+            label: technique.into(),
+            params: vec![kv("rate", 100.0), kv("technique", technique)],
+            metrics: vec![kv("p99_component_ms", p99), kv("mean_overall_ms", mean)],
+        };
+        let cells = vec![mk("RED-3", 40.0, 80.0), mk("PCS", 10.0, 20.0)];
+        let summary = pcs_reduction_summary(&cells);
+        assert_eq!(summary[0].0, "pcs_mean_tail_reduction_pct");
+        assert!((summary[0].1.as_f64().unwrap() - 75.0).abs() < 1e-9);
+        assert!((summary[1].1.as_f64().unwrap() - 75.0).abs() < 1e-9);
+        // Basic-only grids fall back to the non-PCS mean.
+        let cells = vec![mk("Basic", 20.0, 40.0), mk("PCS", 10.0, 20.0)];
+        let summary = pcs_reduction_summary(&cells);
+        assert!((summary[0].1.as_f64().unwrap() - 50.0).abs() < 1e-9);
+        // A degenerate comparison cell (zero latency: nothing completed)
+        // is skipped, like fig6::headline does, not clamped into a
+        // near-infinite reduction.
+        let cells = vec![mk("RED-3", 0.0, 0.0), mk("PCS", 10.0, 20.0)];
+        let summary = pcs_reduction_summary(&cells);
+        assert_eq!(summary[0].1.as_f64(), Some(0.0));
+        assert_eq!(summary[1].1.as_f64(), Some(0.0));
+        assert_eq!(summary[2].1, Json::Array(vec![]));
+    }
+}

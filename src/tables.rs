@@ -7,6 +7,11 @@
 //  widest cell, separated by two spaces.
 pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
     let cols = header.len();
+    if cols == 0 {
+        // A zero-column table renders as nothing (the separator width
+        // `2 * (cols - 1)` would otherwise underflow).
+        return String::new();
+    }
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         assert_eq!(row.len(), cols, "row width must match header");
@@ -57,6 +62,12 @@ mod tests {
         assert!(lines[0].ends_with("ms"));
         assert!(lines[2].ends_with("12.3"));
         assert!(lines[3].ends_with("1400.0"));
+    }
+
+    #[test]
+    fn empty_header_renders_empty() {
+        // Regression: `2 * (cols - 1)` underflowed usize when cols == 0.
+        assert_eq!(render(&[], &[]), "");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Harness determinism: the acceptance property of the scenario runner.
+//!
+//! For a fixed seed, a scenario's rendered JSON report must be
+//! byte-identical across repeated runs **and** across thread counts —
+//! the work-stealing schedule may differ, the report may not. The two
+//! extended scenarios (diurnal arrivals, heterogeneous capacities) are
+//! the pinned examples: they exercise the widened simulation layer and
+//! carry no wall-clock metrics.
+
+use pcs::scenarios;
+use pcs_harness::{run_sweep, SweepParams};
+
+fn render(name: &str, threads: usize) -> String {
+    let scenario = scenarios::find(name).expect("scenario registered");
+    let params = SweepParams {
+        seed: scenario.default_seed(),
+        threads,
+        smoke: true,
+        ..SweepParams::default()
+    };
+    let plan = scenario.plan(&params);
+    run_sweep(&plan, &params).to_json(name, &params).render()
+}
+
+fn assert_reproducible(name: &str) {
+    let single = render(name, 1);
+    let parallel = render(name, 3);
+    let parallel_again = render(name, 3);
+    assert!(
+        single.contains("\"cells\""),
+        "{name}: report must contain cells"
+    );
+    assert_eq!(
+        single.as_bytes(),
+        parallel.as_bytes(),
+        "{name}: report must not depend on the thread count"
+    );
+    assert_eq!(
+        parallel.as_bytes(),
+        parallel_again.as_bytes(),
+        "{name}: repeated runs must reproduce the report byte for byte"
+    );
+}
+
+#[test]
+fn diurnal_report_is_byte_identical_across_runs_and_thread_counts() {
+    assert_reproducible("diurnal");
+}
+
+#[test]
+fn hetero_report_is_byte_identical_across_runs_and_thread_counts() {
+    assert_reproducible("hetero");
+}
+
+#[test]
+fn different_seeds_change_the_report() {
+    let scenario = scenarios::find("diurnal").unwrap();
+    let params_a = SweepParams {
+        seed: 1,
+        threads: 2,
+        smoke: true,
+        ..SweepParams::default()
+    };
+    let params_b = SweepParams {
+        seed: 2,
+        ..params_a.clone()
+    };
+    let a = run_sweep(&scenario.plan(&params_a), &params_a).to_json("diurnal", &params_a);
+    let b = run_sweep(&scenario.plan(&params_b), &params_b).to_json("diurnal", &params_b);
+    assert_ne!(a.render(), b.render());
+}
