@@ -101,15 +101,25 @@ impl SweepOutcome {
             .repeats
             .map(|r| Json::from(r as u64))
             .unwrap_or(Json::Null);
-        Json::object(vec![
+        let mut report = vec![
             ("scenario".into(), Json::from(scenario)),
             ("seed".into(), Json::from(params.seed)),
             ("smoke".into(), Json::from(params.smoke)),
             ("rates_override".into(), rates),
             ("repeats_override".into(), repeats),
-            ("cells".into(), Json::Array(cells)),
-            ("summary".into(), Json::Object(self.summary.clone())),
-        ])
+        ];
+        // Unlike the overrides above, the techniques key appears only
+        // when set: default reports pre-date the technique axis and stay
+        // byte-identical.
+        if let Some(techniques) = &params.techniques {
+            report.push((
+                "techniques_override".into(),
+                Json::Array(techniques.iter().map(|t| Json::from(t.clone())).collect()),
+            ));
+        }
+        report.push(("cells".into(), Json::Array(cells)));
+        report.push(("summary".into(), Json::Object(self.summary.clone())));
+        Json::object(report)
     }
 }
 
@@ -203,6 +213,30 @@ mod tests {
             let outcome = run_sweep(&toy_plan(), &params).to_json("toy", &params);
             assert_eq!(outcome.render(), reference.render());
         }
+    }
+
+    #[test]
+    fn techniques_override_appears_only_when_selected() {
+        // Default reports pre-date the technique axis: the key must stay
+        // absent so their bytes are unchanged.
+        let default_params = SweepParams {
+            seed: 1,
+            ..SweepParams::default()
+        };
+        let outcome = run_sweep(&toy_plan(), &default_params);
+        let plain = outcome.to_json("toy", &default_params).render();
+        assert!(!plain.contains("techniques_override"), "{plain}");
+
+        let selected = SweepParams {
+            techniques: Some(vec!["basic".into(), "pcs".into()]),
+            ..default_params
+        };
+        let report = run_sweep(&toy_plan(), &selected).to_json("toy", &selected);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("\"techniques_override\":[\"basic\",\"pcs\"]"),
+            "{rendered}"
+        );
     }
 
     #[test]

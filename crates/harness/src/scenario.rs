@@ -26,6 +26,11 @@ pub struct SweepParams {
     pub rates: Option<Vec<f64>>,
     /// Override of the repeat count, where applicable (e.g. fig7 timing).
     pub repeats: Option<usize>,
+    /// Override of the scenario's technique set, where applicable:
+    /// technique names the facade's registry can parse (the CLI validates
+    /// them before the plan is built). `None` keeps the scenario's
+    /// default grid.
+    pub techniques: Option<Vec<String>>,
 }
 
 impl Default for SweepParams {
@@ -38,6 +43,7 @@ impl Default for SweepParams {
             smoke: false,
             rates: None,
             repeats: None,
+            techniques: None,
         }
     }
 }
@@ -116,6 +122,14 @@ pub trait Scenario: Sync {
 
     /// The base seed used when the CLI is not given `--seed`.
     fn default_seed(&self) -> u64;
+
+    /// Whether this scenario's plan consumes
+    /// [`SweepParams::techniques`]. The CLI rejects `--techniques` for
+    /// scenarios that would silently ignore it (a report claiming a
+    /// technique override that had no effect would poison provenance).
+    fn techniques_selectable(&self) -> bool {
+        false
+    }
 
     /// Builds the sweep plan for the given parameters. Expensive shared
     /// setup (e.g. training the PCS models) happens here, once, and is

@@ -4,6 +4,26 @@ use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
 use pcs_workloads::{ArrivalPattern, JobGenConfig, ServiceTopology};
 
+/// How physical components are assigned to nodes before the run starts.
+///
+/// The scheduler hook *improves* the initial placement at run time; this
+/// knob selects the provisioning baseline it starts from (paper §III: PCS
+/// complements initial provisioning, it does not replace it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Round-robin with replica anti-affinity
+    /// ([`crate::placement::anti_affine`]) — capacity-blind, the paper's
+    /// homogeneous-testbed default.
+    #[default]
+    AntiAffine,
+    /// Capacity-proportional anti-affine placement
+    /// ([`crate::placement::capacity_aware`]): stronger nodes host
+    /// proportionally more components. Identical to round-robin intent on
+    /// a homogeneous cluster; on a heterogeneous one it stops the weak
+    /// nodes from receiving an equal share.
+    CapacityAware,
+}
+
 /// How the service's logical partitions map onto physical components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeploymentConfig {
@@ -38,6 +58,8 @@ pub struct SimConfig {
     /// [`SimConfig::node_capacity`]; `None` keeps the homogeneous
     /// testbed.
     pub node_capacities: Option<Vec<NodeCapacity>>,
+    /// Initial component-to-node placement strategy.
+    pub placement: PlacementStrategy,
     /// The service topology (stages, classes, partition counts).
     pub topology: ServiceTopology,
     /// Replication factor of the deployment.
@@ -93,6 +115,7 @@ impl SimConfig {
             node_count: 30,
             node_capacity: NodeCapacity::XEON_E5645,
             node_capacities: None,
+            placement: PlacementStrategy::AntiAffine,
             topology,
             deployment: DeploymentConfig::SINGLE,
             arrival_rate,
@@ -136,12 +159,26 @@ impl SimConfig {
                 "node_capacities must list exactly one capacity per node"
             );
         }
-        if let ArrivalPattern::Diurnal { amplitude, period } = self.arrival_pattern {
-            assert!(
-                (0.0..1.0).contains(&amplitude),
-                "diurnal amplitude must be in [0,1)"
-            );
-            assert!(!period.is_zero(), "diurnal period must be non-zero");
+        match self.arrival_pattern {
+            ArrivalPattern::Steady => {}
+            ArrivalPattern::Diurnal { amplitude, period } => {
+                assert!(
+                    (0.0..1.0).contains(&amplitude),
+                    "diurnal amplitude must be in [0,1)"
+                );
+                assert!(!period.is_zero(), "diurnal period must be non-zero");
+            }
+            ArrivalPattern::Mmpp {
+                low,
+                high,
+                mean_dwell,
+            } => {
+                assert!(
+                    low > 0.0 && low <= high && high.is_finite(),
+                    "MMPP multipliers must satisfy 0 < low <= high"
+                );
+                assert!(!mean_dwell.is_zero(), "MMPP mean dwell must be non-zero");
+            }
         }
         assert!(!self.horizon.is_zero(), "horizon must be non-zero");
         assert!(

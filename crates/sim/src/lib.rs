@@ -54,7 +54,7 @@ pub mod profiler;
 pub mod request;
 pub mod world;
 
-pub use config::{DeploymentConfig, SimConfig};
+pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
 pub use ground_truth::GroundTruth;
 pub use metrics::{RunReport, TechniqueStats};
 pub use policy::{

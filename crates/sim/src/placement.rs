@@ -8,7 +8,27 @@
 //! provisioning, not a replacement for it (paper §III).
 
 use crate::component::PhysicalComponent;
-use pcs_types::NodeId;
+use pcs_types::{NodeCapacity, NodeId};
+
+/// Replica-group memberships per component: which groups each component
+/// belongs to, groups numbered across stages then partitions. Shared by
+/// the anti-affinity-aware placement strategies.
+fn group_memberships(
+    deployment: &crate::component::Deployment,
+    component_count: usize,
+) -> Vec<Vec<u32>> {
+    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); component_count];
+    let mut group_no = 0u32;
+    for stage in 0..deployment.stage_count() {
+        for p in 0..deployment.partition_count(stage as u32) {
+            for c in deployment.replicas(stage as u32, p as u32) {
+                memberships[c.index()].push(group_no);
+            }
+            group_no += 1;
+        }
+    }
+    memberships
+}
 
 /// Assigns nodes to components round-robin.
 pub fn round_robin(components: &mut [PhysicalComponent], node_count: usize) {
@@ -32,17 +52,7 @@ pub fn anti_affine(
     node_count: usize,
 ) {
     assert!(node_count > 0, "need at least one node");
-    // Which groups each component belongs to.
-    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); components.len()];
-    let mut group_no = 0u32;
-    for stage in 0..deployment.stage_count() {
-        for p in 0..deployment.partition_count(stage as u32) {
-            for c in deployment.replicas(stage as u32, p as u32) {
-                memberships[c.index()].push(group_no);
-            }
-            group_no += 1;
-        }
-    }
+    let memberships = group_memberships(deployment, components.len());
     let mut placed: Vec<Option<NodeId>> = vec![None; components.len()];
     let mut cursor = 0usize;
     for i in 0..components.len() {
@@ -65,6 +75,74 @@ pub fn anti_affine(
         placed[i] = Some(chosen);
         components[i].node = chosen;
         cursor = chosen.index() + 1;
+    }
+}
+
+/// Capacity-proportional placement with replica anti-affinity: every
+/// component goes to the node with the lowest *capacity-weighted* fill
+/// `(hosted + 1) / weight` among the nodes that don't conflict with any
+/// of the component's replica groups (ties break towards the lower node
+/// index, so the assignment is deterministic). A node's weight is its
+/// capacity relative to the strongest node, averaged over the CPU, disk
+/// and network dimensions — a half-size node ends up hosting roughly half
+/// as many components.
+///
+/// On a homogeneous cluster all weights are 1 and the strategy degrades
+/// to balanced anti-affine placement. The fallback when every node
+/// conflicts mirrors [`anti_affine`]: the best-fill node wins regardless
+/// (only reachable when `node_count` < group size, which the config
+/// validator excludes).
+///
+/// # Panics
+/// Panics unless `capacities` lists at least one node with positive
+/// capacity in every dimension.
+pub fn capacity_aware(
+    components: &mut [PhysicalComponent],
+    deployment: &crate::component::Deployment,
+    capacities: &[NodeCapacity],
+) {
+    let node_count = capacities.len();
+    assert!(node_count > 0, "need at least one node");
+    let max_cores = capacities.iter().map(|c| c.cores).fold(0.0, f64::max);
+    let max_disk = capacities.iter().map(|c| c.disk_mbps).fold(0.0, f64::max);
+    let max_net = capacities.iter().map(|c| c.net_mbps).fold(0.0, f64::max);
+    assert!(
+        max_cores > 0.0 && max_disk > 0.0 && max_net > 0.0,
+        "capacities must be positive"
+    );
+    let weights: Vec<f64> = capacities
+        .iter()
+        .map(|c| (c.cores / max_cores + c.disk_mbps / max_disk + c.net_mbps / max_net) / 3.0)
+        .collect();
+
+    let memberships = group_memberships(deployment, components.len());
+    let mut placed: Vec<Option<NodeId>> = vec![None; components.len()];
+    let mut hosted = vec![0usize; node_count];
+    for i in 0..components.len() {
+        let conflicts = |node: NodeId, placed: &[Option<NodeId>]| -> bool {
+            memberships[i].iter().any(|g| {
+                (0..components.len())
+                    .any(|j| j != i && placed[j] == Some(node) && memberships[j].contains(g))
+            })
+        };
+        let fill = |n: usize| (hosted[n] + 1) as f64 / weights[n].max(f64::MIN_POSITIVE);
+        let best = |admit_conflicts: bool| -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for n in 0..node_count {
+                if !admit_conflicts && conflicts(NodeId::from_index(n), &placed) {
+                    continue;
+                }
+                match best {
+                    Some(b) if fill(n) >= fill(b) => {}
+                    _ => best = Some(n),
+                }
+            }
+            best
+        };
+        let chosen = best(false).or_else(|| best(true)).expect("node_count > 0");
+        placed[i] = Some(NodeId::from_index(chosen));
+        components[i].node = NodeId::from_index(chosen);
+        hosted[chosen] += 1;
     }
 }
 
@@ -141,6 +219,57 @@ mod tests {
         let mut comps = dep.instantiate(&topo);
         anti_affine(&mut comps, &dep, 30);
         assert!(replicas_on_distinct_nodes(&dep, &comps));
+    }
+
+    #[test]
+    fn capacity_aware_fills_proportionally_and_separates_replicas() {
+        let topo = ServiceTopology::nutch(22);
+        let dep = Deployment::new(&topo, 2);
+        let mut comps = dep.instantiate(&topo);
+        // Nodes 0..3 full-size, nodes 4..7 half-size in every dimension.
+        let strong = NodeCapacity::XEON_E5645;
+        let weak = NodeCapacity::new(6.0, 100.0, 62.5);
+        let caps = vec![strong, strong, strong, strong, weak, weak, weak, weak];
+        capacity_aware(&mut comps, &dep, &caps);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+        let mut counts = vec![0usize; caps.len()];
+        for c in &comps {
+            counts[c.node.index()] += 1;
+        }
+        let strong_total: usize = counts[..4].iter().sum();
+        let weak_total: usize = counts[4..].iter().sum();
+        assert!(
+            strong_total >= 2 * weak_total - 2,
+            "strong nodes must host about twice the components: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_aware_on_homogeneous_cluster_balances() {
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 1);
+        let mut comps = dep.instantiate(&topo);
+        capacity_aware(&mut comps, &dep, &[NodeCapacity::XEON_E5645; 8]);
+        let mut counts = vec![0usize; 8];
+        for c in &comps {
+            counts[c.node.index()] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "equal weights must balance: {counts:?}");
+    }
+
+    #[test]
+    fn capacity_aware_is_deterministic() {
+        let topo = ServiceTopology::nutch(16);
+        let dep = Deployment::new(&topo, 3);
+        let caps = crate::config::SimConfig::paper_like(topo.clone(), 1.0, 1).node_capacity;
+        let mut a = dep.instantiate(&topo);
+        let mut b = dep.instantiate(&topo);
+        capacity_aware(&mut a, &dep, &[caps; 8]);
+        capacity_aware(&mut b, &dep, &[caps; 8]);
+        let nodes = |cs: &[PhysicalComponent]| cs.iter().map(|c| c.node).collect::<Vec<_>>();
+        assert_eq!(nodes(&a), nodes(&b));
     }
 
     #[test]

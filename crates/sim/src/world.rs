@@ -95,7 +95,14 @@ impl Simulation {
         let ground_truth = GroundTruth::new(config.topology.classes());
         let deployment = Deployment::new(&config.topology, config.deployment.replication);
         let mut comps = deployment.instantiate(&config.topology);
-        placement::anti_affine(&mut comps, &deployment, config.node_count);
+        match config.placement {
+            crate::config::PlacementStrategy::AntiAffine => {
+                placement::anti_affine(&mut comps, &deployment, config.node_count)
+            }
+            crate::config::PlacementStrategy::CapacityAware => {
+                placement::capacity_aware(&mut comps, &deployment, &cluster.capacities())
+            }
+        }
         debug_assert!(placement::replicas_on_distinct_nodes(&deployment, &comps));
 
         let m = comps.len();

@@ -15,10 +15,12 @@ use rand::RngCore;
 ///
 /// Dyn-compatible so simulations can take any process as a boxed trait
 /// object (`Box<dyn ArrivalProcess + Send>`); concrete RNGs coerce to
-/// `&mut dyn RngCore` at the call site.
+/// `&mut dyn RngCore` at the call site. Sampling takes `&mut self` so
+/// processes with internal state (the [`Mmpp`] modulating chain) fit the
+/// same trait; the stateless processes simply ignore the mutability.
 pub trait ArrivalProcess {
     /// Samples the gap until the next arrival, given the current time.
-    fn next_interarrival(&self, now: SimTime, rng: &mut dyn RngCore) -> SimDuration;
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut dyn RngCore) -> SimDuration;
 
     /// The instantaneous arrival rate (req/s) at `now`, for reporting.
     fn rate_at(&self, now: SimTime) -> f64;
@@ -40,6 +42,16 @@ pub enum ArrivalPattern {
         /// Length of one load cycle.
         period: SimDuration,
     },
+    /// [`Mmpp`]: a two-state Markov-modulated Poisson process alternating
+    /// between a calm and a bursty phase around the base rate.
+    Mmpp {
+        /// Rate multiplier of the calm state (`0 < low <= high`).
+        low: f64,
+        /// Rate multiplier of the bursty state.
+        high: f64,
+        /// Mean dwell time in each state (exponentially distributed).
+        mean_dwell: SimDuration,
+    },
 }
 
 impl ArrivalPattern {
@@ -54,6 +66,11 @@ impl ArrivalPattern {
             ArrivalPattern::Diurnal { amplitude, period } => {
                 Box::new(DiurnalPoisson::new(base_rate, amplitude, period))
             }
+            ArrivalPattern::Mmpp {
+                low,
+                high,
+                mean_dwell,
+            } => Box::new(Mmpp::new(base_rate, low, high, mean_dwell)),
         }
     }
 }
@@ -88,7 +105,7 @@ impl Poisson {
 }
 
 impl ArrivalProcess for Poisson {
-    fn next_interarrival(&self, _now: SimTime, rng: &mut dyn RngCore) -> SimDuration {
+    fn next_interarrival(&mut self, _now: SimTime, rng: &mut dyn RngCore) -> SimDuration {
         SimDuration::from_secs_f64(self.interarrival.sample(rng))
     }
 
@@ -135,7 +152,7 @@ impl DiurnalPoisson {
 }
 
 impl ArrivalProcess for DiurnalPoisson {
-    fn next_interarrival(&self, now: SimTime, rng: &mut dyn RngCore) -> SimDuration {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut dyn RngCore) -> SimDuration {
         let rate = self.rate_at(now);
         SimDuration::from_secs_f64(Exponential::new(rate).sample(rng))
     }
@@ -143,6 +160,105 @@ impl ArrivalProcess for DiurnalPoisson {
     fn rate_at(&self, now: SimTime) -> f64 {
         let phase = 2.0 * std::f64::consts::PI * now.as_secs_f64() / self.period.as_secs_f64();
         self.base_rate * (1.0 + self.amplitude * phase.sin())
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (MMPP): arrivals are
+/// Poisson at `base · low` in the calm state and `base · high` in the
+/// bursty state, with exponentially distributed dwell times in each state.
+///
+/// With equal mean dwell times the long-run average rate is
+/// `base · (low + high) / 2`, so `low + high = 2` keeps the offered load
+/// comparable to the fixed-rate setting while concentrating it into
+/// bursts — the arrival-side analogue of the batch churn the paper uses on
+/// the service side.
+///
+/// Sampling is exact: an interarrival candidate is drawn from the current
+/// state's rate; if it crosses the next state switch, the draw restarts
+/// from the switch point at the new state's rate (valid by memorylessness
+/// of the exponential in both the arrival and the dwell process).
+#[derive(Debug, Clone, Copy)]
+pub struct Mmpp {
+    base_rate: f64,
+    low: f64,
+    high: f64,
+    mean_dwell: SimDuration,
+    /// Whether the chain is currently in the bursty state.
+    in_burst: bool,
+    /// When the chain next switches state (`None` until the first draw).
+    next_switch: Option<SimTime>,
+}
+
+impl Mmpp {
+    /// Creates a two-state MMPP. The chain starts in the calm state.
+    ///
+    /// # Panics
+    /// Panics unless `base_rate > 0`, `0 < low <= high`, and the mean
+    /// dwell time is non-zero.
+    pub fn new(base_rate: f64, low: f64, high: f64, mean_dwell: SimDuration) -> Self {
+        assert!(
+            base_rate.is_finite() && base_rate > 0.0,
+            "base rate must be finite and positive"
+        );
+        assert!(
+            low > 0.0 && low.is_finite() && high.is_finite() && low <= high,
+            "state multipliers must satisfy 0 < low <= high, got {low}..{high}"
+        );
+        assert!(!mean_dwell.is_zero(), "mean dwell time must be non-zero");
+        Mmpp {
+            base_rate,
+            low,
+            high,
+            mean_dwell,
+            in_burst: false,
+            next_switch: None,
+        }
+    }
+
+    fn state_rate(&self) -> f64 {
+        self.base_rate * if self.in_burst { self.high } else { self.low }
+    }
+
+    fn draw_dwell(&self, rng: &mut dyn RngCore) -> SimDuration {
+        let gap = Exponential::new(1.0 / self.mean_dwell.as_secs_f64()).sample(rng);
+        SimDuration::from_secs_f64(gap)
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut dyn RngCore) -> SimDuration {
+        let mut cursor = now;
+        let mut next_switch = match self.next_switch {
+            Some(t) if t > now => t,
+            // First draw, or a stale switch time (both exponentials are
+            // memoryless, so restarting the dwell clock is exact).
+            _ => {
+                if self.next_switch.is_some_and(|t| t <= now) {
+                    self.in_burst = !self.in_burst;
+                }
+                now + self.draw_dwell(rng)
+            }
+        };
+        loop {
+            let candidate = cursor
+                + SimDuration::from_secs_f64(Exponential::new(self.state_rate()).sample(rng));
+            if candidate <= next_switch {
+                self.next_switch = Some(next_switch);
+                return candidate - now;
+            }
+            cursor = next_switch;
+            self.in_burst = !self.in_burst;
+            next_switch = cursor + self.draw_dwell(rng);
+        }
+    }
+
+    /// Reports the modulating chain's *current-state* rate. The chain's
+    /// position is part of the sampling state, not a function of time, so
+    /// this is exact only for `now` between the last sampled arrival and
+    /// the pending state switch (precisely the times the simulator
+    /// queries); it is not a time-travel query over the trajectory.
+    fn rate_at(&self, _now: SimTime) -> f64 {
+        self.state_rate()
     }
 }
 
@@ -154,7 +270,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_interarrival_matches_rate() {
-        let p = Poisson::new(100.0);
+        let mut p = Poisson::new(100.0);
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 100_000;
         let total: f64 = (0..n)
@@ -204,7 +320,7 @@ mod tests {
         let steady = ArrivalPattern::Steady.build(120.0);
         assert_eq!(steady.rate_at(SimTime::from_secs(999)), 120.0);
 
-        let diurnal = ArrivalPattern::Diurnal {
+        let mut diurnal = ArrivalPattern::Diurnal {
             amplitude: 0.5,
             period: SimDuration::from_secs(100),
         }
@@ -213,5 +329,101 @@ mod tests {
         // Boxed processes sample through the dyn-compatible entry point.
         let mut rng = SmallRng::seed_from_u64(5);
         assert!(!diurnal.next_interarrival(SimTime::ZERO, &mut rng).is_zero());
+
+        let mmpp = ArrivalPattern::Mmpp {
+            low: 0.25,
+            high: 1.75,
+            mean_dwell: SimDuration::from_secs(4),
+        }
+        .build(100.0);
+        assert!(
+            (mmpp.rate_at(SimTime::ZERO) - 25.0).abs() < 1e-9,
+            "starts calm"
+        );
+    }
+
+    /// Replays an MMPP sequentially (the simulator's call pattern) and
+    /// returns the arrival times.
+    fn mmpp_arrivals(mut p: Mmpp, seed: u64, horizon_secs: u64) -> Vec<SimTime> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        let mut out = Vec::new();
+        loop {
+            t = t + p.next_interarrival(t, &mut rng);
+            if t > SimTime::from_secs(horizon_secs) {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    #[test]
+    fn mmpp_long_run_rate_matches_base() {
+        // low + high = 2 with equal dwell times: long-run mean = base.
+        let p = Mmpp::new(200.0, 0.25, 1.75, SimDuration::from_secs(2));
+        let arrivals = mmpp_arrivals(p, 9, 400);
+        let rate = arrivals.len() as f64 / 400.0;
+        assert!(
+            (rate - 200.0).abs() / 200.0 < 0.1,
+            "long-run MMPP rate {rate} should approach the base 200 req/s"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Index of dispersion of counts over 1 s windows: 1 for Poisson,
+        // substantially larger for a strongly modulated MMPP.
+        let dispersion = |times: &[SimTime], horizon: u64| {
+            let mut counts = vec![0f64; horizon as usize];
+            for t in times {
+                let bin = (t.as_secs_f64().floor() as usize).min(counts.len() - 1);
+                counts[bin] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let bursty = mmpp_arrivals(
+            Mmpp::new(100.0, 0.25, 1.75, SimDuration::from_secs(4)),
+            3,
+            300,
+        );
+        let steady = {
+            let mut p = Poisson::new(100.0);
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut t = SimTime::ZERO;
+            let mut out = Vec::new();
+            loop {
+                t = t + p.next_interarrival(t, &mut rng);
+                if t > SimTime::from_secs(300) {
+                    break;
+                }
+                out.push(t);
+            }
+            out
+        };
+        let d_bursty = dispersion(&bursty, 300);
+        let d_steady = dispersion(&steady, 300);
+        assert!(
+            d_bursty > 3.0 * d_steady,
+            "MMPP dispersion {d_bursty} must dwarf Poisson's {d_steady}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_per_seed() {
+        let p = Mmpp::new(150.0, 0.5, 1.5, SimDuration::from_secs(3));
+        let a = mmpp_arrivals(p, 42, 60);
+        let b = mmpp_arrivals(p, 42, 60);
+        assert_eq!(a, b);
+        let c = mmpp_arrivals(p, 43, 60);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < low <= high")]
+    fn mmpp_rejects_inverted_multipliers() {
+        let _ = Mmpp::new(100.0, 1.5, 0.5, SimDuration::from_secs(1));
     }
 }

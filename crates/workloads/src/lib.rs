@@ -36,7 +36,7 @@ pub mod catalog;
 pub mod jobgen;
 pub mod topology;
 
-pub use arrivals::{ArrivalPattern, ArrivalProcess, DiurnalPoisson, Poisson};
+pub use arrivals::{ArrivalPattern, ArrivalProcess, DiurnalPoisson, Mmpp, Poisson};
 pub use catalog::{BatchWorkload, Framework, JobSpec};
 pub use jobgen::{BatchJobGenerator, JobGenConfig};
 pub use topology::{ComponentClass, ServiceTopology, SlowdownSensitivity, Stage};

@@ -5,7 +5,8 @@
 //! Run with: `cargo run --example nutch_search --release [rate] [seed]`
 
 use pcs::controller::PcsController;
-use pcs::experiments::fig6::{self, Technique};
+use pcs::experiments::fig6;
+use pcs::techniques;
 use pcs_sim::SimConfig;
 use pcs_types::NodeCapacity;
 
@@ -19,7 +20,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(62015);
 
-    let topology = fig6::topology_for(Technique::Pcs, 100);
+    let topology = fig6::topology(100);
     println!("training the PCS predictor (profiling campaign)…");
     let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, seed)
         .expect("profiling campaign");
@@ -29,13 +30,9 @@ fn main() {
         "{:>8} {:>18} {:>18} {:>10} {:>10}",
         "tech", "p99 component ms", "mean overall ms", "wasted", "migrations"
     );
-    for technique in Technique::paper_set() {
-        let config = SimConfig::paper_like(
-            fig6::topology_for(technique, 100),
-            rate,
-            seed.wrapping_add((rate as u64) << 8),
-        );
-        let report = fig6::run_cell(&config, technique, &models);
+    for technique in techniques::paper_set() {
+        let config = SimConfig::paper_like(fig6::topology(100), rate, fig6::rate_seed(seed, rate));
+        let report = fig6::run_cell(&config, technique.as_ref(), &models);
         println!(
             "{:>8} {:>18.2} {:>18.2} {:>10} {:>10}",
             technique.name(),

@@ -2,26 +2,30 @@
 //! deterministic parallel sweep runner.
 //!
 //! ```text
-//! pcs list
-//! pcs run --scenario fig6 [--rates 50,500] [--seed N] [--threads N]
-//!         [--repeats N] [--smoke] [--json PATH] [--quiet]
+//! pcs list [scenarios|techniques]
+//! pcs run --scenario fig6 [--techniques basic,ll,pcs] [--rates 50,500]
+//!         [--seed N] [--threads N] [--repeats N] [--smoke] [--json PATH]
+//!         [--quiet]
 //! ```
 //!
 //! Every experiment that used to be its own `pcs-bench` binary (fig5,
 //! fig6, fig7, headline, the five ablations) is a scenario here, plus the
-//! extended scenarios (`diurnal`, `hetero`). Reports print as the same
+//! extended scenarios (`diurnal`, `hetero`, `mmpp`). The comparison
+//! scenarios sweep the open technique registry, so `--techniques`
+//! selects any registered set for any of them. Reports print as the same
 //! plain-text tables the old binaries produced and, with `--json`, as a
 //! machine-readable sweep report whose bytes are reproducible at a fixed
 //! seed for every scenario without wall-clock metrics.
 
 use pcs::scenarios;
 use pcs::tables;
+use pcs::techniques;
 use pcs_harness::{run_sweep, Json, SweepOutcome, SweepParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
+        Some("list") => cmd_list(args.get(1).map(String::as_str)),
         Some("run") => cmd_run(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{}", usage());
@@ -40,18 +44,20 @@ fn usage() -> String {
         "pcs - PCS (ICPP 2015) experiment harness\n\
          \n\
          USAGE:\n\
-         \x20 pcs list                     list registered scenarios\n\
-         \x20 pcs run --scenario <name>    run one scenario\n\
+         \x20 pcs list [scenarios|techniques]   list the registries\n\
+         \x20 pcs run --scenario <name>         run one scenario\n\
          \n\
          OPTIONS (run):\n\
-         \x20 --scenario <name>   required; see `pcs list`\n\
-         \x20 --seed <u64>        base seed (default: the scenario's)\n\
-         \x20 --threads <n>       worker threads (default: all cores)\n\
-         \x20 --rates <a,b,c>     arrival-rate grid override, req/s\n\
-         \x20 --repeats <n>       repeat count override (fig7)\n\
-         \x20 --smoke             tiny CI budgets (short horizon, small grid)\n\
-         \x20 --json <path>       also write the machine-readable report\n\
-         \x20 --quiet             suppress the cell table\n",
+         \x20 --scenario <name>    required; see `pcs list scenarios`\n\
+         \x20 --techniques <a,b>   technique-set override (comparison sweeps);\n\
+         \x20                      see `pcs list techniques`\n\
+         \x20 --seed <u64>         base seed (default: the scenario's)\n\
+         \x20 --threads <n>        worker threads (default: all cores)\n\
+         \x20 --rates <a,b,c>      arrival-rate grid override, req/s\n\
+         \x20 --repeats <n>        repeat count override (fig7)\n\
+         \x20 --smoke              tiny CI budgets (short horizon, small grid)\n\
+         \x20 --json <path>        also write the machine-readable report\n\
+         \x20 --quiet              suppress the cell table\n",
     );
     out.push_str("\nSCENARIOS:\n");
     for scenario in scenarios::registry() {
@@ -61,12 +67,45 @@ fn usage() -> String {
             scenario.description()
         ));
     }
+    out.push_str("\nTECHNIQUES (any `red-<k>` / `ri-<p>` parses, e.g. ri-99.5):\n");
+    for technique in techniques::registry() {
+        out.push_str(&format!(
+            "  {:<20} {}\n",
+            technique.name().to_lowercase(),
+            technique.description()
+        ));
+    }
     out
 }
 
-fn cmd_list() -> i32 {
-    for scenario in scenarios::registry() {
-        println!("{:<20} {}", scenario.name(), scenario.description());
+fn cmd_list(which: Option<&str>) -> i32 {
+    let scenarios_section = || {
+        for scenario in scenarios::registry() {
+            println!("{:<20} {}", scenario.name(), scenario.description());
+        }
+    };
+    let techniques_section = || {
+        for technique in techniques::registry() {
+            println!(
+                "{:<20} {}",
+                technique.name().to_lowercase(),
+                technique.description()
+            );
+        }
+    };
+    match which {
+        None => {
+            println!("SCENARIOS:");
+            scenarios_section();
+            println!("\nTECHNIQUES (any `red-<k>` / `ri-<p>` parses, e.g. ri-99.5):");
+            techniques_section();
+        }
+        Some("scenarios") => scenarios_section(),
+        Some("techniques") => techniques_section(),
+        Some(other) => {
+            eprintln!("unknown registry `{other}`; use `scenarios` or `techniques`");
+            return 2;
+        }
     }
     0
 }
@@ -119,6 +158,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     list.split(',').map(|r| r.trim().parse::<f64>()).collect();
                 params.rates = Some(rates.map_err(|e| format!("--rates: {e}"))?);
             }
+            "--techniques" => {
+                let list = value("--techniques")?;
+                // Validate here (with the registry's vocabulary in the
+                // error) and hand scenarios the canonical names.
+                let specs =
+                    techniques::parse_list(&list).map_err(|e| format!("--techniques: {e}"))?;
+                params.techniques = Some(specs.iter().map(|s| s.name()).collect());
+            }
             "--smoke" => params.smoke = true,
             "--json" => json_path = Some(value("--json")?),
             "--quiet" => quiet = true,
@@ -149,6 +196,19 @@ fn cmd_run(args: &[String]) -> i32 {
         );
         return 2;
     };
+    if run.params.techniques.is_some() && !scenario.techniques_selectable() {
+        let selectable: Vec<&str> = scenarios::registry()
+            .iter()
+            .filter(|s| s.techniques_selectable())
+            .map(|s| s.name())
+            .collect();
+        eprintln!(
+            "scenario `{}` does not sweep techniques; --techniques applies to: {}",
+            scenario.name(),
+            selectable.join(", ")
+        );
+        return 2;
+    }
     run.params.seed = run.seed_override.unwrap_or_else(|| scenario.default_seed());
 
     eprintln!(

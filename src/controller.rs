@@ -34,6 +34,11 @@ pub struct PcsController {
     /// the matrix inputs — forcing 1.0 turns the Eq. 2 M/G/1 term into
     /// the M/M/1 special case (the queueing-model ablation).
     scv_override: Option<f64>,
+    /// When true, node demand comes from the simulator's exact
+    /// [`SchedulerContext::ground_truth_demand`] instead of the noisy
+    /// sampled windows — the oracle upper bound on what better monitoring
+    /// and prediction could buy.
+    ground_truth: bool,
     /// Last known mean demand per node, carried across intervals for nodes
     /// whose sampling window came back empty.
     last_node_demand: Vec<ResourceVector>,
@@ -57,6 +62,7 @@ impl PcsController {
             matrix_config,
             threshold: None,
             scv_override: None,
+            ground_truth: false,
             last_node_demand: Vec::new(),
             history: Vec::new(),
         }
@@ -76,6 +82,17 @@ impl PcsController {
     pub fn with_scv_override(mut self, scv: f64) -> Self {
         assert!(scv.is_finite() && scv >= 0.0, "SCV must be non-negative");
         self.scv_override = Some(scv);
+        self
+    }
+
+    /// Feeds the controller the simulator's exact per-node demand
+    /// ([`SchedulerContext::ground_truth_demand`]) instead of the noisy
+    /// sampled contention windows. This is the `oracle` technique: an
+    /// upper bound isolating how much of PCS's remaining gap comes from
+    /// monitoring noise rather than from the scheduling algorithm.
+    #[must_use]
+    pub fn with_ground_truth(mut self) -> Self {
+        self.ground_truth = true;
         self
     }
 
@@ -140,7 +157,9 @@ impl PcsController {
         let mut nodes = Vec::with_capacity(k);
         for j in 0..k {
             let window = &ctx.sampled_windows[j];
-            let demand = if window.is_empty() {
+            let demand = if self.ground_truth {
+                ctx.ground_truth_demand[j]
+            } else if window.is_empty() {
                 self.last_node_demand[j]
             } else {
                 let mut mean = ContentionVector::ZERO;

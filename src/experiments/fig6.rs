@@ -7,91 +7,27 @@
 //! Metrics: 99th-percentile component latency and mean overall service
 //! latency. The paper's headline: PCS cuts the former by 67.05 % and the
 //! latter by 64.16 % on average versus the redundancy/reissue techniques.
+//!
+//! The technique axis is open: any [`crate::techniques::TechniqueSpec`]
+//! from the registry can occupy a grid column (`pcs run --scenario fig6
+//! --techniques basic,ll,pcs`), not just the paper's six.
 
 use crate::controller::PcsController;
-use pcs_baselines::{RedundancyPolicy, ReissuePolicy};
-use pcs_core::{ClassModelSet, MatrixConfig, SchedulerConfig};
-use pcs_sim::{
-    BasicPolicy, DeploymentConfig, DispatchPolicy, NoopScheduler, RunReport, SchedulerHook,
-    SimConfig, Simulation,
-};
+use crate::techniques::{TechniqueEnv, TechniqueRef, TechniqueSpec};
+use pcs_core::ClassModelSet;
+use pcs_sim::{DeploymentConfig, RunReport, SimConfig, Simulation};
 use pcs_types::NodeCapacity;
 use pcs_workloads::ServiceTopology;
 
-/// The compared techniques.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Technique {
-    /// No redundancy, no scheduling.
-    Basic,
-    /// Request redundancy with k replicas (paper: 3 and 5).
-    Red(usize),
-    /// Request reissue at a latency percentile (paper: 0.90 and 0.99).
-    Ri(f64),
-    /// Predictive component-level scheduling (this paper).
-    Pcs,
-}
-
-impl Technique {
-    /// The paper's six techniques in figure order.
-    pub fn paper_set() -> Vec<Technique> {
-        vec![
-            Technique::Basic,
-            Technique::Red(3),
-            Technique::Red(5),
-            Technique::Ri(0.90),
-            Technique::Ri(0.99),
-            Technique::Pcs,
-        ]
-    }
-
-    /// Display name matching the paper.
-    pub fn name(&self) -> String {
-        match self {
-            Technique::Basic => "Basic".into(),
-            Technique::Red(k) => format!("RED-{k}"),
-            Technique::Ri(p) => format!("RI-{:.0}", p * 100.0),
-            Technique::Pcs => "PCS".into(),
-        }
-    }
-
-    /// Replication factor this technique needs.
-    pub fn replication(&self) -> usize {
-        match self {
-            Technique::Basic | Technique::Pcs => 1,
-            Technique::Red(k) => *k,
-            Technique::Ri(_) => 2,
-        }
-    }
-
-    fn make_policy(&self) -> Box<dyn DispatchPolicy> {
-        match self {
-            Technique::Basic | Technique::Pcs => Box::new(BasicPolicy),
-            Technique::Red(k) => Box::new(RedundancyPolicy::new(*k)),
-            Technique::Ri(p) => Box::new(ReissuePolicy::new(*p)),
-        }
-    }
-
-    fn make_hook(&self, models: &ClassModelSet, epsilon_secs: f64) -> Box<dyn SchedulerHook> {
-        match self {
-            Technique::Pcs => Box::new(PcsController::new(
-                models.clone(),
-                SchedulerConfig {
-                    epsilon_secs,
-                    max_migrations: None,
-                    full_rebuild: false,
-                },
-                MatrixConfig::default(),
-            )),
-            _ => Box::new(NoopScheduler),
-        }
-    }
-}
-
 /// Runs one cell of the Figure 6 grid: one technique at one configuration.
 /// The config's deployment replication is overridden to the technique's
-/// requirement; the config's topology should come from [`topology_for`]
+/// requirement; the config's topology should come from [`topology`]
 /// (or be a replication-1 topology for Basic/PCS).
-pub fn run_cell(config: &SimConfig, technique: Technique, models: &ClassModelSet) -> RunReport {
+pub fn run_cell(
+    config: &SimConfig,
+    technique: &dyn TechniqueSpec,
+    models: &ClassModelSet,
+) -> RunReport {
     run_cell_with_epsilon(
         config,
         technique,
@@ -103,7 +39,7 @@ pub fn run_cell(config: &SimConfig, technique: Technique, models: &ClassModelSet
 /// [`run_cell`] with an explicit PCS migration threshold.
 pub fn run_cell_with_epsilon(
     config: &SimConfig,
-    technique: Technique,
+    technique: &dyn TechniqueSpec,
     models: &ClassModelSet,
     epsilon_secs: f64,
 ) -> RunReport {
@@ -111,12 +47,15 @@ pub fn run_cell_with_epsilon(
     config.deployment = DeploymentConfig {
         replication: technique.replication(),
     };
-    let mut report = Simulation::new(
-        config,
-        technique.make_policy(),
-        technique.make_hook(models, epsilon_secs),
-    )
-    .run();
+    if let Some(placement) = technique.placement() {
+        config.placement = placement;
+    }
+    let env = TechniqueEnv {
+        models,
+        epsilon_secs,
+    };
+    let mut report =
+        Simulation::new(config, technique.make_policy(), technique.make_hook(&env)).run();
     report.technique = technique.name();
     report
 }
@@ -126,8 +65,8 @@ pub fn run_cell_with_epsilon(
 pub struct Fig6Config {
     /// Arrival rates to test (paper: 10, 20, 50, 100, 200, 500).
     pub rates: Vec<f64>,
-    /// Techniques to compare.
-    pub techniques: Vec<Technique>,
+    /// Techniques to compare (any registry specs; paper set by default).
+    pub techniques: Vec<TechniqueRef>,
     /// Searching-VM budget shared by every technique (the paper deploys
     /// all techniques on the same pool of searching VMs; replica groups
     /// overlap on the pool).
@@ -150,7 +89,7 @@ impl Default for Fig6Config {
     fn default() -> Self {
         Fig6Config {
             rates: vec![10.0, 20.0, 50.0, 100.0, 200.0, 500.0],
-            techniques: Technique::paper_set(),
+            techniques: crate::techniques::paper_set(),
             search_vm_budget: 100,
             epsilon_secs: 0.000_001,
             seed: 62015,
@@ -162,10 +101,10 @@ impl Default for Fig6Config {
     }
 }
 
-/// The Nutch topology a technique gets: every technique shares the same
+/// The Nutch topology every technique gets: all techniques share the same
 /// pool of stateless searching workers (replica groups overlap on that
-/// pool), so the topology is replication-invariant.
-pub fn topology_for(_technique: Technique, search_vm_budget: usize) -> ServiceTopology {
+/// pool), so the topology is technique- and replication-invariant.
+pub fn topology(search_vm_budget: usize) -> ServiceTopology {
     ServiceTopology::nutch(search_vm_budget)
 }
 
@@ -185,7 +124,7 @@ pub fn rate_seed(base_seed: u64, rate: f64) -> u64 {
 /// runner and the scenario registrations so both derive identical cells).
 pub fn cell_config(config: &Fig6Config, rate: f64) -> SimConfig {
     let mut sim_config = SimConfig::paper_like(
-        topology_for(Technique::Pcs, config.search_vm_budget),
+        topology(config.search_vm_budget),
         rate,
         rate_seed(config.seed, rate),
     );
@@ -198,7 +137,7 @@ pub fn cell_config(config: &Fig6Config, rate: f64) -> SimConfig {
 #[derive(Debug, Clone)]
 pub struct Fig6Cell {
     /// The technique.
-    pub technique: Technique,
+    pub technique: TechniqueRef,
     /// Arrival rate (req/s).
     pub rate: f64,
     /// The run's full report.
@@ -212,23 +151,28 @@ pub struct Fig6Cell {
 pub fn run_sweep(config: &Fig6Config) -> Vec<Fig6Cell> {
     // PCS runs at replication 1, so its models are trained against the
     // scale-1 topology's classes.
-    let topology = topology_for(Technique::Pcs, config.search_vm_budget);
+    let topology = topology(config.search_vm_budget);
     let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, config.seed)
         .expect("profiling campaign trains");
 
-    let mut jobs: Vec<(Technique, f64)> = Vec::new();
+    let mut jobs: Vec<(TechniqueRef, f64)> = Vec::new();
     for &rate in &config.rates {
-        for &t in &config.techniques {
-            jobs.push((t, rate));
+        for t in &config.techniques {
+            jobs.push((t.clone(), rate));
         }
     }
 
     pcs_harness::run_indexed(jobs.len(), config.threads, |i| {
-        let (technique, rate) = jobs[i];
+        let (technique, rate) = (&jobs[i].0, jobs[i].1);
         let sim_config = cell_config(config, rate);
-        let report = run_cell_with_epsilon(&sim_config, technique, &models, config.epsilon_secs);
+        let report = run_cell_with_epsilon(
+            &sim_config,
+            technique.as_ref(),
+            &models,
+            config.epsilon_secs,
+        );
         Fig6Cell {
-            technique,
+            technique: technique.clone(),
             rate,
             report,
         }
@@ -255,12 +199,12 @@ pub fn headline(cells: &[Fig6Cell]) -> Headline {
     let mut tail = Vec::new();
     let mut overall = Vec::new();
     for cell in cells {
-        if !matches!(cell.technique, Technique::Red(_) | Technique::Ri(_)) {
+        if !crate::techniques::is_redundancy_or_reissue(&cell.technique.name()) {
             continue;
         }
         let Some(pcs) = cells
             .iter()
-            .find(|c| c.technique == Technique::Pcs && c.rate == cell.rate)
+            .find(|c| c.technique.name() == "PCS" && c.rate == cell.rate)
         else {
             continue;
         };
@@ -289,15 +233,17 @@ pub fn headline(cells: &[Fig6Cell]) -> Headline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::techniques;
 
     #[test]
     fn technique_metadata() {
-        assert_eq!(Technique::Red(3).name(), "RED-3");
-        assert_eq!(Technique::Ri(0.9).name(), "RI-90");
-        assert_eq!(Technique::Pcs.replication(), 1);
-        assert_eq!(Technique::Red(5).replication(), 5);
-        assert_eq!(Technique::Ri(0.99).replication(), 2);
-        assert_eq!(Technique::paper_set().len(), 6);
+        assert_eq!(techniques::red(3).name(), "RED-3");
+        assert_eq!(techniques::ri(90.0).name(), "RI-90");
+        assert_eq!(techniques::pcs().replication(), 1);
+        assert_eq!(techniques::red(5).replication(), 5);
+        assert_eq!(techniques::ri(99.0).replication(), 2);
+        assert_eq!(techniques::paper_set().len(), 6);
+        assert_eq!(Fig6Config::default().techniques.len(), 6);
     }
 
     #[test]
@@ -316,9 +262,7 @@ mod tests {
         use pcs_monitor::LatencySummary;
         use pcs_sim::TechniqueStats;
         use pcs_types::SimTime;
-        let mk = |technique: Technique, p99: f64, mean: f64| Fig6Cell {
-            technique,
-            rate: 100.0,
+        let mk = |technique: TechniqueRef, p99: f64, mean: f64| Fig6Cell {
             report: RunReport {
                 technique: technique.name(),
                 arrival_rate: 100.0,
@@ -342,14 +286,26 @@ mod tests {
                 },
                 stats: TechniqueStats::default(),
             },
+            technique,
+            rate: 100.0,
         };
         // PCS p99 = 10ms vs RED-3 p99 = 40ms → 75% reduction.
         let cells = vec![
-            mk(Technique::Pcs, 0.010, 0.020),
-            mk(Technique::Red(3), 0.040, 0.080),
+            mk(techniques::pcs(), 0.010, 0.020),
+            mk(techniques::red(3), 0.040, 0.080),
         ];
         let h = headline(&cells);
         assert!((h.tail_reduction - 0.75).abs() < 1e-12);
         assert!((h.overall_reduction - 0.75).abs() < 1e-12);
+        // LL/Oracle are not redundancy/reissue: excluded from the
+        // headline mean, like Basic.
+        let cells = vec![
+            mk(techniques::pcs(), 0.010, 0.020),
+            mk(techniques::ll(), 0.040, 0.080),
+            mk(techniques::oracle(), 0.008, 0.016),
+        ];
+        let h = headline(&cells);
+        assert_eq!(h.tail_reduction, 0.0);
+        assert_eq!(h.overall_reduction, 0.0);
     }
 }

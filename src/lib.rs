@@ -30,15 +30,18 @@
 //! | [`pcs_types`] | shared primitives |
 //!
 //! This umbrella crate adds the [`controller::PcsController`] — the glue
-//! that feeds the simulator's monitors into the core scheduler — and
-//! [`experiments`]: drivers that regenerate every table and figure of the
-//! paper's evaluation.
+//! that feeds the simulator's monitors into the core scheduler —
+//! [`techniques`]: the open registry of compared techniques (the paper's
+//! Basic/RED/RI/PCS plus reactive, oracle and capacity-aware baselines) —
+//! and [`experiments`]: drivers that regenerate every table and figure of
+//! the paper's evaluation.
 //!
 //! ## Quickstart
 //!
 //! ```no_run
 //! use pcs::controller::PcsController;
-//! use pcs::experiments::fig6::{self, Technique};
+//! use pcs::experiments::fig6;
+//! use pcs::techniques;
 //! use pcs_sim::{SimConfig, Simulation};
 //! use pcs_workloads::ServiceTopology;
 //!
@@ -46,11 +49,13 @@
 //! let topology = ServiceTopology::nutch(24);
 //! let models = PcsController::train_for(&topology, Default::default(), 1).unwrap();
 //!
-//! // … then run the service under PCS scheduling.
+//! // … then run the service under any registered technique.
 //! let config = SimConfig::paper_like(topology, 200.0, 42);
-//! let report = fig6::run_cell(&config, Technique::Pcs, &models);
+//! let technique = techniques::parse("pcs").unwrap();
+//! let report = fig6::run_cell(&config, technique.as_ref(), &models);
 //! println!(
-//!     "PCS @200 req/s: component p99 {:.2} ms, overall mean {:.2} ms",
+//!     "{} @200 req/s: component p99 {:.2} ms, overall mean {:.2} ms",
+//!     report.technique,
 //!     report.component_p99_ms(),
 //!     report.overall_mean_ms()
 //! );
@@ -63,6 +68,7 @@ pub mod controller;
 pub mod experiments;
 pub mod scenarios;
 pub mod tables;
+pub mod techniques;
 
 pub use controller::PcsController;
 

@@ -1,29 +1,21 @@
 //! New scenarios beyond the paper's evaluation, exercising the widened
-//! simulation layer: diurnally modulated arrivals and heterogeneous node
-//! capacities. Both produce byte-identical JSON reports across repeated
-//! runs and across thread counts at a fixed seed (no wall-clock metrics;
-//! cells are pure functions of their seeds).
+//! simulation layer: diurnally modulated arrivals, heterogeneous node
+//! capacities, and bursty Markov-modulated (MMPP) arrivals. All produce
+//! byte-identical JSON reports across repeated runs and across thread
+//! counts at a fixed seed (no wall-clock metrics; cells are pure
+//! functions of their seeds).
+//!
+//! Each scenario sweeps a default technique set from the shared registry
+//! ([`crate::techniques`]); `--techniques` swaps in any other registered
+//! set — `pcs run --scenario hetero --techniques basic,cap,pcs` compares
+//! the capacity-aware placement baseline, for example.
 
-use super::{base_grid, kv, pcs_reduction_summary, report_metrics, train_models};
-use crate::experiments::fig6::{self, Technique};
+use super::{base_grid, kv, pcs_reduction_summary, report_metrics, technique_grid, train_models};
+use crate::experiments::fig6;
+use crate::techniques;
 use pcs_harness::{CellPlan, CellResult, Scenario, SweepParams, SweepPlan};
 use pcs_types::{NodeCapacity, SimDuration};
 use pcs_workloads::ArrivalPattern;
-
-/// The techniques the extended comparisons run (one representative per
-/// family; `--smoke` drops to Basic vs PCS).
-fn extended_techniques(smoke: bool) -> Vec<Technique> {
-    if smoke {
-        vec![Technique::Basic, Technique::Pcs]
-    } else {
-        vec![
-            Technique::Basic,
-            Technique::Red(3),
-            Technique::Ri(0.90),
-            Technique::Pcs,
-        ]
-    }
-}
 
 /// Diurnal load: the paper sweeps fixed rates "to compare the latency
 /// reduction techniques under online services' diurnal variation in
@@ -52,15 +44,24 @@ impl Scenario for DiurnalScenario {
         62016
     }
 
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let mut cfg = base_grid(params, &[100.0, 250.0]);
-        cfg.techniques = extended_techniques(params.smoke);
+        cfg.techniques = technique_grid(
+            params,
+            techniques::extended_set(),
+            techniques::extended_smoke_set(),
+        );
         let models = train_models(&cfg);
         let mut cells = Vec::new();
         for &rate in &cfg.rates {
-            for &technique in &cfg.techniques {
+            for technique in &cfg.techniques {
                 let models = models.clone();
                 let cfg = cfg.clone();
+                let technique = technique.clone();
                 cells.push(CellPlan {
                     label: format!("{} @ ~{rate} req/s diurnal", technique.name()),
                     params: vec![
@@ -79,7 +80,7 @@ impl Scenario for DiurnalScenario {
                         };
                         let report = fig6::run_cell_with_epsilon(
                             &sim_config,
-                            technique,
+                            technique.as_ref(),
                             &models,
                             cfg.epsilon_secs,
                         );
@@ -104,7 +105,9 @@ impl Scenario for DiurnalScenario {
 /// the cores and bandwidths of the paper's Xeon E5645 testbed boxes), so
 /// the same absolute batch demand contends twice as hard there. PCS's
 /// per-node contention normalisation sees this directly; the blind
-/// techniques cannot steer work away from the weak half.
+/// techniques cannot steer work away from the weak half. The registry's
+/// `cap` technique provisions proportionally to capacity instead
+/// (`--techniques basic,cap,pcs`).
 pub struct HeteroScenario;
 
 /// The weaker half's capacity: half a Xeon E5645 box in every dimension.
@@ -140,15 +143,24 @@ impl Scenario for HeteroScenario {
         62017
     }
 
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let mut cfg = base_grid(params, &[100.0, 300.0]);
-        cfg.techniques = extended_techniques(params.smoke);
+        cfg.techniques = technique_grid(
+            params,
+            techniques::extended_set(),
+            techniques::extended_smoke_set(),
+        );
         let models = train_models(&cfg);
         let mut cells = Vec::new();
         for &rate in &cfg.rates {
-            for &technique in &cfg.techniques {
+            for technique in &cfg.techniques {
                 let models = models.clone();
                 let cfg = cfg.clone();
+                let technique = technique.clone();
                 cells.push(CellPlan {
                     label: format!("{} @ {rate} req/s mixed cluster", technique.name()),
                     params: vec![
@@ -162,7 +174,7 @@ impl Scenario for HeteroScenario {
                         sim_config.node_capacities = Some(mixed_capacities(sim_config.node_count));
                         let report = fig6::run_cell_with_epsilon(
                             &sim_config,
-                            technique,
+                            technique.as_ref(),
                             &models,
                             cfg.epsilon_secs,
                         );
@@ -177,9 +189,115 @@ impl Scenario for HeteroScenario {
             cells,
             summarize: Some(Box::new(pcs_reduction_summary)),
             notes: vec![
-                "odd-indexed nodes have half the cores/disk/net of the paper's Xeon E5645 boxes"
+                "odd-indexed nodes have half the cores/disk/net of the paper's Xeon E5645 boxes; the `cap` technique provisions proportionally to capacity"
                     .to_string(),
             ],
+        }
+    }
+}
+
+/// Bursty arrivals: a two-state Markov-modulated Poisson process
+/// alternating between a calm phase at a quarter of the base rate and a
+/// bursty phase at 1.75× (long-run mean = base). Fixed-rate sweeps hide
+/// exactly the regime where migration matters most — the onset of a
+/// burst, when queues build before any monitor window reflects it — so
+/// this scenario also defaults to sweeping the reactive (`ll`) and
+/// perfect-monitoring (`oracle`) registry techniques alongside the
+/// paper's families.
+pub struct MmppScenario;
+
+/// Calm-state rate multiplier.
+const MMPP_LOW: f64 = 0.25;
+
+/// Burst-state rate multiplier (`low + high = 2` keeps the long-run mean
+/// at the base rate).
+const MMPP_HIGH: f64 = 1.75;
+
+/// Mean dwell time in each state, time-compressed like the rest of the
+/// paper-like setting: ~15 phase switches per 60 s horizon.
+const MMPP_DWELL_SECS: u64 = 4;
+
+/// The MMPP sweep's default technique set: the extended comparison
+/// families plus the reactive and oracle baselines.
+fn mmpp_set() -> Vec<techniques::TechniqueRef> {
+    vec![
+        techniques::basic(),
+        techniques::red(3),
+        techniques::ri(90.0),
+        techniques::ll(),
+        techniques::oracle(),
+        techniques::pcs(),
+    ]
+}
+
+/// The MMPP `--smoke` shrink.
+fn mmpp_smoke_set() -> Vec<techniques::TechniqueRef> {
+    vec![techniques::basic(), techniques::ll(), techniques::pcs()]
+}
+
+impl Scenario for MmppScenario {
+    fn name(&self) -> &'static str {
+        "mmpp"
+    }
+
+    fn description(&self) -> &'static str {
+        "Techniques under bursty two-state Markov-modulated Poisson arrivals"
+    }
+
+    fn default_seed(&self) -> u64 {
+        62018
+    }
+
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, params: &SweepParams) -> SweepPlan {
+        let mut cfg = base_grid(params, &[100.0, 250.0]);
+        cfg.techniques = technique_grid(params, mmpp_set(), mmpp_smoke_set());
+        let models = train_models(&cfg);
+        let mut cells = Vec::new();
+        for &rate in &cfg.rates {
+            for technique in &cfg.techniques {
+                let models = models.clone();
+                let cfg = cfg.clone();
+                let technique = technique.clone();
+                cells.push(CellPlan {
+                    label: format!("{} @ ~{rate} req/s mmpp", technique.name()),
+                    params: vec![
+                        kv("rate", rate),
+                        kv("technique", technique.name()),
+                        kv("low_multiplier", MMPP_LOW),
+                        kv("high_multiplier", MMPP_HIGH),
+                        kv("mean_dwell_s", MMPP_DWELL_SECS),
+                    ],
+                    // Runner seed unused: same-trace comparison per rate.
+                    run: Box::new(move |_cell_seed| {
+                        let mut sim_config = fig6::cell_config(&cfg, rate);
+                        sim_config.arrival_pattern = ArrivalPattern::Mmpp {
+                            low: MMPP_LOW,
+                            high: MMPP_HIGH,
+                            mean_dwell: SimDuration::from_secs(MMPP_DWELL_SECS),
+                        };
+                        let report = fig6::run_cell_with_epsilon(
+                            &sim_config,
+                            technique.as_ref(),
+                            &models,
+                            cfg.epsilon_secs,
+                        );
+                        CellResult {
+                            metrics: report_metrics(&report),
+                        }
+                    }),
+                });
+            }
+        }
+        SweepPlan {
+            cells,
+            summarize: Some(Box::new(pcs_reduction_summary)),
+            notes: vec![format!(
+                "two-state MMPP: calm {MMPP_LOW}x / burst {MMPP_HIGH}x the base rate, mean dwell {MMPP_DWELL_SECS} s per state (long-run mean = base)"
+            )],
         }
     }
 }

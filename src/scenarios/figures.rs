@@ -1,8 +1,9 @@
 //! Scenario registrations for the paper's Figures 5–7 and the §VI-C
 //! headline view.
 
-use super::{base_grid, kv, pcs_reduction_summary, report_metrics, train_models};
+use super::{base_grid, kv, pcs_reduction_summary, report_metrics, technique_grid, train_models};
 use crate::experiments::{fig5, fig6, fig7};
+use crate::techniques;
 use pcs_harness::{CellPlan, CellResult, Json, Scenario, SweepParams, SweepPlan};
 use pcs_workloads::BatchWorkload;
 
@@ -127,9 +128,10 @@ pub(crate) fn fig6_cells(cfg: &fig6::Fig6Config) -> Vec<CellPlan> {
     let models = train_models(cfg);
     let mut cells = Vec::new();
     for &rate in &cfg.rates {
-        for &technique in &cfg.techniques {
+        for technique in &cfg.techniques {
             let models = models.clone();
             let cfg = cfg.clone();
+            let technique = technique.clone();
             cells.push(CellPlan {
                 label: format!("{} @ {rate} req/s", technique.name()),
                 params: vec![kv("rate", rate), kv("technique", technique.name())],
@@ -141,7 +143,7 @@ pub(crate) fn fig6_cells(cfg: &fig6::Fig6Config) -> Vec<CellPlan> {
                     let sim_config = fig6::cell_config(&cfg, rate);
                     let report = fig6::run_cell_with_epsilon(
                         &sim_config,
-                        technique,
+                        technique.as_ref(),
                         &models,
                         cfg.epsilon_secs,
                     );
@@ -153,17 +155,6 @@ pub(crate) fn fig6_cells(cfg: &fig6::Fig6Config) -> Vec<CellPlan> {
         }
     }
     cells
-}
-
-/// Applies the `--smoke` technique shrink shared by the fig6-shaped grids.
-pub(crate) fn smoke_techniques(cfg: &mut fig6::Fig6Config, smoke: bool) {
-    if smoke {
-        cfg.techniques = vec![
-            fig6::Technique::Basic,
-            fig6::Technique::Red(2),
-            fig6::Technique::Pcs,
-        ];
-    }
 }
 
 /// Figure 6: six techniques at six arrival rates, plus the headline
@@ -183,9 +174,13 @@ impl Scenario for Fig6Scenario {
         62015
     }
 
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let mut cfg = base_grid(params, &[10.0, 20.0, 50.0, 100.0, 200.0, 500.0]);
-        smoke_techniques(&mut cfg, params.smoke);
+        cfg.techniques = technique_grid(params, techniques::paper_set(), techniques::smoke_set());
         SweepPlan {
             cells: fig6_cells(&cfg),
             summarize: Some(Box::new(pcs_reduction_summary)),
@@ -213,9 +208,13 @@ impl Scenario for HeadlineScenario {
         62015
     }
 
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let mut cfg = base_grid(params, &[10.0, 20.0, 50.0, 100.0, 200.0, 500.0]);
-        smoke_techniques(&mut cfg, params.smoke);
+        cfg.techniques = technique_grid(params, techniques::paper_set(), techniques::smoke_set());
         SweepPlan {
             cells: fig6_cells(&cfg),
             summarize: Some(Box::new(pcs_reduction_summary)),

@@ -22,13 +22,19 @@
 //! | `ablation-rebuild` | Algorithm 2 incremental vs full rebuild |
 //! | `diurnal` | techniques under sinusoidally modulated load |
 //! | `hetero` | techniques on a mixed-capacity cluster |
+//! | `mmpp` | techniques under bursty Markov-modulated arrivals |
+//!
+//! The comparison scenarios sweep the open technique registry
+//! ([`crate::techniques`]); `--techniques <list>` overrides any of their
+//! grids from the CLI.
 
 pub mod ablations;
 pub mod extended;
 pub mod figures;
 
 use crate::controller::PcsController;
-use crate::experiments::fig6::{Fig6Config, Technique};
+use crate::experiments::fig6::Fig6Config;
+use crate::techniques::{self, TechniqueRef};
 use pcs_core::ClassModelSet;
 use pcs_harness::{CellOutcome, Json, Scenario, SweepParams};
 use pcs_sim::RunReport;
@@ -49,6 +55,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(ablations::RebuildScenario),
         Box::new(extended::DiurnalScenario),
         Box::new(extended::HeteroScenario),
+        Box::new(extended::MmppScenario),
     ]
 }
 
@@ -96,10 +103,22 @@ pub(crate) fn base_grid(params: &SweepParams, default_rates: &[f64]) -> Fig6Conf
     cfg
 }
 
+/// The technique set a sweep runs: the CLI's `--techniques` selection if
+/// present (validated there), otherwise the scenario's full or `--smoke`
+/// default from the shared registry sets.
+pub(crate) fn technique_grid(
+    params: &SweepParams,
+    full: Vec<TechniqueRef>,
+    smoke: Vec<TechniqueRef>,
+) -> Vec<TechniqueRef> {
+    let default_set = if params.smoke { smoke } else { full };
+    techniques::resolve(params.techniques.as_deref(), default_set)
+}
+
 /// Trains the PCS class models for a grid's topology (shared by every
 /// cell of a sweep, so this runs once in `plan`).
 pub(crate) fn train_models(cfg: &Fig6Config) -> Arc<ClassModelSet> {
-    let topology = crate::experiments::fig6::topology_for(Technique::Pcs, cfg.search_vm_budget);
+    let topology = crate::experiments::fig6::topology(cfg.search_vm_budget);
     Arc::new(
         PcsController::train_for(&topology, NodeCapacity::XEON_E5645, cfg.seed)
             .expect("profiling campaign trains"),
@@ -148,7 +167,7 @@ pub(crate) fn pcs_reduction_summary(cells: &[CellOutcome]) -> Vec<(String, Json)
         if tail.is_none() && overall.is_none() {
             continue;
         }
-        let is_headline = technique.starts_with("RED") || technique.starts_with("RI");
+        let is_headline = techniques::is_redundancy_or_reissue(&technique);
         if let Some(tail) = tail {
             if is_headline {
                 headline_tail.push(tail);
@@ -195,12 +214,27 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 12);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
         }
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn exactly_the_technique_sweeps_accept_technique_selection() {
+        // The CLI uses this flag to reject `--techniques` on scenarios
+        // whose plan would silently ignore it.
+        let selectable: Vec<&str> = registry()
+            .iter()
+            .filter(|s| s.techniques_selectable())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            selectable,
+            vec!["fig6", "headline", "diurnal", "hetero", "mmpp"]
+        );
     }
 
     #[test]

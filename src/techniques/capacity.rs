@@ -1,0 +1,43 @@
+//! `CAP`: capacity-aware initial placement, no runtime scheduling.
+//!
+//! The `hetero` scenario's other baselines all provision with
+//! capacity-blind anti-affinity, so half-size nodes receive an equal
+//! share of the service and contend twice as hard. `CAP` fixes only the
+//! *provisioning* step — components spread proportionally to node
+//! capacity ([`pcs_sim::placement::capacity_aware`]) and then never move.
+//! Comparing CAP against PCS separates what a one-shot capacity-aware
+//! deployment buys from what run-time migration buys (the ROADMAP's
+//! capacity-aware placement baseline).
+
+use super::{TechniqueEnv, TechniqueSpec};
+use pcs_sim::{BasicPolicy, DispatchPolicy, NoopScheduler, PlacementStrategy, SchedulerHook};
+
+/// The `CAP` technique: Basic dispatch on a capacity-proportional layout.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityAwareSpec;
+
+impl TechniqueSpec for CapacityAwareSpec {
+    fn name(&self) -> String {
+        "CAP".into()
+    }
+
+    fn description(&self) -> String {
+        "capacity-aware initial placement, no runtime scheduling".into()
+    }
+
+    fn replication(&self) -> usize {
+        1
+    }
+
+    fn make_policy(&self) -> Box<dyn DispatchPolicy> {
+        Box::new(BasicPolicy)
+    }
+
+    fn make_hook(&self, _env: &TechniqueEnv<'_>) -> Box<dyn SchedulerHook> {
+        Box::new(NoopScheduler)
+    }
+
+    fn placement(&self) -> Option<PlacementStrategy> {
+        Some(PlacementStrategy::CapacityAware)
+    }
+}

@@ -1,0 +1,374 @@
+//! The open technique registry: every latency-reduction technique the
+//! evaluation can compare, behind one pluggable API.
+//!
+//! The paper's core claim is comparative — PCS against blind
+//! redundancy/reissue techniques (§VI-A) — and this module makes the
+//! *technique* axis of that comparison open the same way `src/scenarios`
+//! made the *scenario* axis open: a technique is a [`TechniqueSpec`]
+//! implementation (name, replication, dispatch policy, scheduler hook,
+//! optional placement override), and registering it makes it reachable
+//! from every sweep scenario via `pcs run --techniques <list>`.
+//!
+//! | name | technique |
+//! |---|---|
+//! | `basic` | no redundancy, no reissue, no migrations |
+//! | `red-<k>` | request redundancy, k parallel replicas (paper: 3, 5) |
+//! | `ri-<p>` | request reissue at the p-th latency percentile (paper: 90, 99) |
+//! | `pcs` | predictive component-level scheduling (this paper) |
+//! | `ll` | least-loaded reactive migration — no prediction |
+//! | `oracle` | PCS fed the simulator's exact node demand (upper bound) |
+//! | `cap` | capacity-aware initial placement, no runtime scheduling |
+//!
+//! Names round-trip exactly: [`parse`] accepts any case and
+//! [`TechniqueSpec::name`] renders the canonical display form
+//! (`parse("ri-99.5")` names itself `RI-99.5` and parses back to an
+//! equivalent spec).
+
+mod builtin;
+mod capacity;
+mod oracle;
+mod reactive;
+
+pub use builtin::{minimal_percent, BasicSpec, PcsSpec, RedSpec, RiSpec};
+pub use capacity::CapacityAwareSpec;
+pub use oracle::OracleSpec;
+pub use reactive::{LeastLoadedHook, LeastLoadedSpec};
+
+use pcs_core::ClassModelSet;
+use pcs_sim::{DispatchPolicy, PlacementStrategy, SchedulerHook};
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, immutable handle to a technique. Sweep configs clone these
+/// freely into per-cell closures.
+pub type TechniqueRef = Arc<dyn TechniqueSpec>;
+
+/// Everything a technique may consult when building its scheduler hook:
+/// the trained per-class latency models and the sweep's migration
+/// threshold. Techniques that neither predict nor migrate ignore it.
+#[derive(Debug, Clone, Copy)]
+pub struct TechniqueEnv<'a> {
+    /// Trained Eq. 1 models, one per component class (shared by every
+    /// cell of a sweep).
+    pub models: &'a ClassModelSet,
+    /// The PCS migration threshold ε, in seconds.
+    pub epsilon_secs: f64,
+}
+
+/// One compared technique: how requests are dispatched, whether and how
+/// components migrate, and how the deployment is provisioned.
+///
+/// Implementations are registered in [`registry`] (and parsed by name via
+/// [`parse`]), which makes them selectable on any sweep scenario through
+/// `pcs run --techniques <list>`.
+pub trait TechniqueSpec: fmt::Debug + Send + Sync {
+    /// Canonical display name (`Basic`, `RED-3`, `RI-99.5`, `PCS`, …).
+    /// Must round-trip: `parse(name())` yields an equivalent spec.
+    fn name(&self) -> String;
+
+    /// One-line description for `pcs list`.
+    fn description(&self) -> String;
+
+    /// Physical replica instances this technique needs per partition.
+    fn replication(&self) -> usize;
+
+    /// Builds the dispatch policy deciding replica fan-out, reissue and
+    /// cancellation.
+    fn make_policy(&self) -> Box<dyn DispatchPolicy>;
+
+    /// Builds the scheduler hook run at every scheduling interval.
+    fn make_hook(&self, env: &TechniqueEnv<'_>) -> Box<dyn SchedulerHook>;
+
+    /// Initial-placement override; `None` keeps the scenario's default
+    /// (capacity-blind anti-affinity).
+    fn placement(&self) -> Option<PlacementStrategy> {
+        None
+    }
+}
+
+/// `Basic`: the no-op baseline.
+pub fn basic() -> TechniqueRef {
+    Arc::new(BasicSpec)
+}
+
+/// `RED-k`: request redundancy with `k` parallel replicas.
+///
+/// # Panics
+/// Panics unless `2 <= k <= 8` (the simulator's replica-group cap).
+pub fn red(k: usize) -> TechniqueRef {
+    Arc::new(RedSpec::new(k))
+}
+
+/// `RI-p`: request reissue at latency percentile `p`, in percent
+/// (`90.0`, `99.5`, …) — the unit the CLI names use.
+///
+/// # Panics
+/// Panics unless `0 < p < 100`.
+pub fn ri(percent: f64) -> TechniqueRef {
+    Arc::new(RiSpec::new(percent))
+}
+
+/// `PCS`: predictive component-level scheduling (the paper).
+pub fn pcs() -> TechniqueRef {
+    Arc::new(PcsSpec)
+}
+
+/// `LL`: least-loaded reactive migration — no prediction.
+pub fn ll() -> TechniqueRef {
+    Arc::new(LeastLoadedSpec)
+}
+
+/// `Oracle`: PCS fed the simulator's exact node demand.
+pub fn oracle() -> TechniqueRef {
+    Arc::new(OracleSpec)
+}
+
+/// `CAP`: capacity-aware initial placement, no runtime scheduling.
+pub fn cap() -> TechniqueRef {
+    Arc::new(CapacityAwareSpec)
+}
+
+/// Every registered technique, canonical instances in display order
+/// (parameterised families are represented by their paper instances; any
+/// `red-<k>` / `ri-<p>` parses).
+pub fn registry() -> Vec<TechniqueRef> {
+    vec![
+        basic(),
+        red(3),
+        red(5),
+        ri(90.0),
+        ri(99.0),
+        pcs(),
+        ll(),
+        oracle(),
+        cap(),
+    ]
+}
+
+/// The paper's six techniques in Figure 6 order.
+pub fn paper_set() -> Vec<TechniqueRef> {
+    vec![basic(), red(3), red(5), ri(90.0), ri(99.0), pcs()]
+}
+
+/// The fig6-shaped `--smoke` shrink: one technique per family.
+pub fn smoke_set() -> Vec<TechniqueRef> {
+    vec![basic(), red(2), pcs()]
+}
+
+/// The extended comparisons' default (diurnal/hetero): one representative
+/// per family.
+pub fn extended_set() -> Vec<TechniqueRef> {
+    vec![basic(), red(3), ri(90.0), pcs()]
+}
+
+/// The extended comparisons' `--smoke` shrink: Basic vs PCS.
+pub fn extended_smoke_set() -> Vec<TechniqueRef> {
+    vec![basic(), pcs()]
+}
+
+/// True for the techniques the paper's §VI-C headline averages over: the
+/// blind redundancy (`RED-k`) and reissue (`RI-p`) baselines, identified
+/// by their canonical display names. The single classification point for
+/// the headline reductions — `fig6::headline` and the scenarios' shared
+/// reduction summary both call this, so a new registry technique can
+/// never drift into the headline mean in one place but not the other.
+pub fn is_redundancy_or_reissue(name: &str) -> bool {
+    name.starts_with("RED-") || name.starts_with("RI-")
+}
+
+/// A failed technique-name parse, with the valid vocabulary attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechniqueParseError {
+    /// The offending token.
+    pub token: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for TechniqueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown technique `{}`: {}; valid techniques: basic, red-<k> (2..=8), \
+             ri-<p> (percentile in (0,100), e.g. ri-99.5), pcs, ll, oracle, cap",
+            self.token, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TechniqueParseError {}
+
+fn err(token: &str, reason: impl Into<String>) -> TechniqueParseError {
+    TechniqueParseError {
+        token: token.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Parses one technique name (case-insensitive). Round-trips with
+/// [`TechniqueSpec::name`]: `parse(&spec.name())` yields an equivalent
+/// spec for every registered technique.
+///
+/// # Errors
+/// Returns a [`TechniqueParseError`] naming the valid vocabulary on an
+/// unknown name or an out-of-range family parameter.
+pub fn parse(name: &str) -> Result<TechniqueRef, TechniqueParseError> {
+    let token = name.trim();
+    let lower = token.to_ascii_lowercase();
+    match lower.as_str() {
+        "basic" => return Ok(basic()),
+        "pcs" => return Ok(pcs()),
+        "ll" => return Ok(ll()),
+        "oracle" => return Ok(oracle()),
+        "cap" => return Ok(cap()),
+        _ => {}
+    }
+    if let Some(k) = lower.strip_prefix("red-") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| err(token, "the replica count after `red-` is not an integer"))?;
+        if !(2..=8).contains(&k) {
+            return Err(err(token, "replica count must be in 2..=8"));
+        }
+        return Ok(red(k));
+    }
+    if let Some(p) = lower.strip_prefix("ri-") {
+        let percent: f64 = p
+            .parse()
+            .map_err(|_| err(token, "the percentile after `ri-` is not a number"))?;
+        if !(percent > 0.0 && percent < 100.0) {
+            return Err(err(token, "reissue percentile must be in (0, 100)"));
+        }
+        return Ok(ri(percent));
+    }
+    Err(err(token, "not a registered technique"))
+}
+
+/// Parses a comma-separated technique list (`"red-3,ri-99,pcs"`).
+///
+/// # Errors
+/// Fails on the first invalid token (empty tokens included), with the
+/// valid vocabulary in the message.
+pub fn parse_list(list: &str) -> Result<Vec<TechniqueRef>, TechniqueParseError> {
+    let mut out = Vec::new();
+    for token in list.split(',') {
+        if token.trim().is_empty() {
+            return Err(err(token, "empty technique name"));
+        }
+        out.push(parse(token)?);
+    }
+    if out.is_empty() {
+        return Err(err(list, "empty technique list"));
+    }
+    Ok(out)
+}
+
+/// Resolves a sweep's technique set: CLI-selected names if present (the
+/// CLI validates them with [`parse_list`] before the plan is built),
+/// otherwise the scenario's default set.
+///
+/// # Panics
+/// Panics on an unparseable name — reachable only when a caller bypasses
+/// the CLI validation with a hand-built
+/// [`pcs_harness::SweepParams::techniques`].
+pub fn resolve(selected: Option<&[String]>, default_set: Vec<TechniqueRef>) -> Vec<TechniqueRef> {
+    match selected {
+        None => default_set,
+        Some(names) => names
+            .iter()
+            .map(|name| parse(name).unwrap_or_else(|e| panic!("{e}")))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Equivalence for round-trip checks: same canonical name, same
+    /// replication requirement.
+    fn equivalent(a: &dyn TechniqueSpec, b: &dyn TechniqueSpec) -> bool {
+        a.name() == b.name() && a.replication() == b.replication()
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for spec in registry() {
+            let reparsed =
+                parse(&spec.name()).unwrap_or_else(|e| panic!("{} must parse: {e}", spec.name()));
+            assert!(
+                equivalent(spec.as_ref(), reparsed.as_ref()),
+                "{} round-trips to {}",
+                spec.name(),
+                reparsed.name()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<String> = registry().iter().map(|s| s.name()).collect();
+        for name in &names {
+            assert_eq!(names.iter().filter(|n| *n == name).count(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_issue_examples() {
+        let specs = parse_list("red-3,ri-99,pcs").unwrap();
+        let names: Vec<String> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["RED-3", "RI-99", "PCS"]);
+        // Round-trip the rendered names straight back.
+        let again = parse_list(&names.join(",")).unwrap();
+        assert_eq!(again.iter().map(|s| s.name()).collect::<Vec<_>>(), names);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(parse(" PCS ").unwrap().name(), "PCS");
+        assert_eq!(parse("Red-5").unwrap().name(), "RED-5");
+        assert_eq!(parse("RI-90").unwrap().name(), "RI-90");
+        assert_eq!(parse("Oracle").unwrap().name(), "Oracle");
+    }
+
+    #[test]
+    fn parse_rejects_unknowns_helpfully() {
+        let e = parse("warp-drive").unwrap_err();
+        let message = e.to_string();
+        assert!(message.contains("warp-drive"), "{message}");
+        for valid in ["basic", "red-<k>", "ri-<p>", "pcs", "ll", "oracle", "cap"] {
+            assert!(message.contains(valid), "{message} must list {valid}");
+        }
+        assert!(parse("red-1").is_err(), "k = 1 is just basic");
+        assert!(parse("red-9").is_err(), "beyond the simulator's group cap");
+        assert!(parse("ri-0").is_err());
+        assert!(parse("ri-100").is_err());
+        assert!(parse_list("pcs,,basic").is_err());
+        assert!(parse_list("").is_err());
+    }
+
+    #[test]
+    fn sets_match_the_papers_grids() {
+        let names = |set: Vec<TechniqueRef>| set.iter().map(|s| s.name()).collect::<Vec<_>>();
+        assert_eq!(
+            names(paper_set()),
+            vec!["Basic", "RED-3", "RED-5", "RI-90", "RI-99", "PCS"]
+        );
+        assert_eq!(names(smoke_set()), vec!["Basic", "RED-2", "PCS"]);
+        assert_eq!(
+            names(extended_set()),
+            vec!["Basic", "RED-3", "RI-90", "PCS"]
+        );
+        assert_eq!(names(extended_smoke_set()), vec!["Basic", "PCS"]);
+    }
+
+    #[test]
+    fn resolve_prefers_selected_names() {
+        let resolved = resolve(Some(&["basic".to_string(), "pcs".to_string()]), paper_set());
+        assert_eq!(
+            resolved.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["Basic", "PCS"]
+        );
+        assert_eq!(resolve(None, paper_set()).len(), 6);
+    }
+}

@@ -1,0 +1,261 @@
+//! `LL`: least-loaded reactive migration, in the spirit of load-aware
+//! dispatchers like RackSched — migrate off whatever node is hottest
+//! *right now*, with no prediction at all.
+//!
+//! The point of this baseline is to isolate the value of PCS's
+//! *predictive* step: LL sees the same monitored contention windows the
+//! PCS controller sees, but instead of predicting per-component latency
+//! on every candidate node it simply moves the busiest component off the
+//! currently hottest node onto the currently coolest one. Any latency gap
+//! between LL and PCS is attributable to prediction, not to the mere
+//! ability to migrate.
+
+use super::{TechniqueEnv, TechniqueSpec};
+use pcs_sim::{BasicPolicy, DispatchPolicy, MigrationRequest, SchedulerContext, SchedulerHook};
+use pcs_types::NodeId;
+
+/// Minimum hottest-minus-coolest load gap (in summed utilisation
+/// fractions) before LL bothers migrating; below it the cluster is
+/// considered balanced and a move would be churn.
+const LOAD_MARGIN: f64 = 0.1;
+
+/// The reactive hook: one migration per interval, hottest node to coolest
+/// node, chosen purely from the monitors' latest contention windows.
+#[derive(Debug, Default)]
+pub struct LeastLoadedHook {
+    /// Last known load per node, carried across empty sampling windows
+    /// (mirrors the PCS controller's staleness handling).
+    last_load: Vec<f64>,
+}
+
+/// A node's scalar load: the mean over the window of the summed
+/// CPU/disk/network utilisation fractions (MPKI is excluded — it is on a
+/// different scale and the reactive baseline deliberately stays crude).
+fn window_load(window: &[pcs_types::ContentionVector]) -> f64 {
+    window
+        .iter()
+        .map(|s| s.core_usage + s.disk_util + s.net_util)
+        .sum::<f64>()
+        / window.len() as f64
+}
+
+impl SchedulerHook for LeastLoadedHook {
+    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+        let k = ctx.node_capacities.len();
+        if k < 2 {
+            return Vec::new();
+        }
+        // Nothing monitored yet: wait, like the PCS controller does.
+        if ctx.sampled_windows.iter().all(|w| w.is_empty()) {
+            return Vec::new();
+        }
+        if self.last_load.len() != k {
+            self.last_load = vec![0.0; k];
+        }
+        for (j, window) in ctx.sampled_windows.iter().enumerate() {
+            if !window.is_empty() {
+                self.last_load[j] = window_load(window);
+            }
+        }
+        // The source is the hottest node that actually hosts a movable
+        // component (batch-only nodes have nothing to evacuate); the
+        // destination is the coolest node overall. Ties break towards the
+        // lower node index: deterministic.
+        let mut evacuable = vec![false; k];
+        for meta in ctx.components {
+            if !meta.migrating {
+                evacuable[meta.node.index()] = true;
+            }
+        }
+        let mut hottest: Option<usize> = None;
+        let mut coolest = 0usize;
+        for (j, &can_evacuate) in evacuable.iter().enumerate() {
+            if can_evacuate && hottest.is_none_or(|h| self.last_load[j] > self.last_load[h]) {
+                hottest = Some(j);
+            }
+            if self.last_load[j] < self.last_load[coolest] {
+                coolest = j;
+            }
+        }
+        let Some(hottest) = hottest else {
+            return Vec::new();
+        };
+        if self.last_load[hottest] - self.last_load[coolest] < LOAD_MARGIN {
+            return Vec::new();
+        }
+        // Evacuate the busiest component of the hottest node (largest
+        // normalised own demand; ties towards the lower component id).
+        let cap = ctx.node_capacities[hottest];
+        let mut best: Option<(f64, pcs_types::ComponentId)> = None;
+        for meta in ctx.components {
+            if meta.node.index() != hottest || meta.migrating {
+                continue;
+            }
+            let u = cap.normalize(&meta.own_demand);
+            let score = u.core_usage + u.disk_util + u.net_util;
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, meta.id));
+            }
+        }
+        match best {
+            Some((_, component)) => vec![MigrationRequest {
+                component,
+                to: NodeId::from_index(coolest),
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The `LL` technique: Basic dispatch plus the reactive hook.
+#[derive(Debug, Clone, Copy)]
+pub struct LeastLoadedSpec;
+
+impl TechniqueSpec for LeastLoadedSpec {
+    fn name(&self) -> String {
+        "LL".into()
+    }
+
+    fn description(&self) -> String {
+        "least-loaded reactive migration off the hottest node (no prediction)".into()
+    }
+
+    fn replication(&self) -> usize {
+        1
+    }
+
+    fn make_policy(&self) -> Box<dyn DispatchPolicy> {
+        Box::new(BasicPolicy)
+    }
+
+    fn make_hook(&self, _env: &TechniqueEnv<'_>) -> Box<dyn SchedulerHook> {
+        Box::new(LeastLoadedHook::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_sim::policy::ComponentMeta;
+    use pcs_types::{ComponentId, ContentionVector, NodeCapacity, ResourceVector, SimTime};
+
+    fn meta(id: u32, node: usize, cores: f64) -> ComponentMeta {
+        ComponentMeta {
+            id: ComponentId::new(id),
+            class: 0,
+            stage: 0,
+            node: NodeId::from_index(node),
+            migrating: false,
+            own_demand: ResourceVector::new(cores, 0.0, 0.0, 0.0),
+        }
+    }
+
+    fn ctx_with<'a>(
+        components: &'a [ComponentMeta],
+        caps: &'a [NodeCapacity],
+        windows: &'a [Vec<ContentionVector>],
+        demand: &'a [ResourceVector],
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now: SimTime::ZERO,
+            components,
+            node_capacities: caps,
+            sampled_windows: windows,
+            arrival_rates: &[],
+            service_scv: &[],
+            stage_count: 1,
+            ground_truth_demand: demand,
+        }
+    }
+
+    #[test]
+    fn migrates_busiest_component_from_hot_to_cool() {
+        let caps = [NodeCapacity::XEON_E5645; 3];
+        let comps = [meta(0, 0, 1.0), meta(1, 0, 4.0), meta(2, 1, 1.0)];
+        let hot = vec![ContentionVector::new(0.9, 0.0, 0.4, 0.2)];
+        let warm = vec![ContentionVector::new(0.4, 0.0, 0.1, 0.1)];
+        let cool = vec![ContentionVector::new(0.05, 0.0, 0.0, 0.0)];
+        let windows = [hot, warm, cool];
+        let demand = [ResourceVector::ZERO; 3];
+        let mut hook = LeastLoadedHook::default();
+        let orders = hook.on_interval(&ctx_with(&comps, &caps, &windows, &demand));
+        assert_eq!(
+            orders,
+            vec![MigrationRequest {
+                component: ComponentId::new(1),
+                to: NodeId::from_index(2),
+            }],
+            "the heaviest component on the hottest node goes to the coolest node"
+        );
+    }
+
+    #[test]
+    fn batch_only_hot_node_is_skipped_for_the_hottest_hosting_node() {
+        // Node 0 is the hottest but hosts nothing (pure batch churn);
+        // node 1 is the hottest node that can actually be evacuated.
+        let caps = [NodeCapacity::XEON_E5645; 3];
+        let comps = [meta(0, 1, 2.0), meta(1, 2, 1.0)];
+        let windows = [
+            vec![ContentionVector::new(1.5, 0.0, 0.8, 0.5)],
+            vec![ContentionVector::new(0.7, 0.0, 0.2, 0.1)],
+            vec![ContentionVector::new(0.1, 0.0, 0.0, 0.0)],
+        ];
+        let demand = [ResourceVector::ZERO; 3];
+        let mut hook = LeastLoadedHook::default();
+        let orders = hook.on_interval(&ctx_with(&comps, &caps, &windows, &demand));
+        assert_eq!(
+            orders,
+            vec![MigrationRequest {
+                component: ComponentId::new(0),
+                to: NodeId::from_index(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn balanced_cluster_and_cold_monitors_stay_put() {
+        let caps = [NodeCapacity::XEON_E5645; 2];
+        let comps = [meta(0, 0, 1.0), meta(1, 1, 1.0)];
+        let demand = [ResourceVector::ZERO; 2];
+        let mut hook = LeastLoadedHook::default();
+
+        // All windows empty: cold start, no orders.
+        let empty: [Vec<ContentionVector>; 2] = [vec![], vec![]];
+        assert!(hook
+            .on_interval(&ctx_with(&comps, &caps, &empty, &demand))
+            .is_empty());
+
+        // Loads within the margin: balanced, no orders.
+        let even = [
+            vec![ContentionVector::new(0.5, 0.0, 0.1, 0.1)],
+            vec![ContentionVector::new(0.45, 0.0, 0.12, 0.1)],
+        ];
+        assert!(hook
+            .on_interval(&ctx_with(&comps, &caps, &even, &demand))
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_window_reuses_last_load() {
+        let caps = [NodeCapacity::XEON_E5645; 2];
+        let comps = [meta(0, 0, 2.0), meta(1, 1, 1.0)];
+        let demand = [ResourceVector::ZERO; 2];
+        let mut hook = LeastLoadedHook::default();
+        let first = [
+            vec![ContentionVector::new(0.9, 0.0, 0.3, 0.2)],
+            vec![ContentionVector::new(0.1, 0.0, 0.0, 0.0)],
+        ];
+        assert_eq!(
+            hook.on_interval(&ctx_with(&comps, &caps, &first, &demand))
+                .len(),
+            1
+        );
+        // Node 0's window dries up; its stale load still marks it hottest.
+        let second = [vec![], vec![ContentionVector::new(0.1, 0.0, 0.0, 0.0)]];
+        assert_eq!(
+            hook.on_interval(&ctx_with(&comps, &caps, &second, &demand))
+                .len(),
+            1
+        );
+    }
+}

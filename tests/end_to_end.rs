@@ -3,22 +3,28 @@
 //! the reproduction actually reproduces.
 
 use pcs::controller::PcsController;
-use pcs::experiments::fig6::{self, Technique};
+use pcs::experiments::fig6;
+use pcs::techniques::{self, TechniqueRef};
 use pcs_core::ClassModelSet;
 use pcs_sim::SimConfig;
 use pcs_types::{NodeCapacity, SimDuration};
 
 fn trained_models(seed: u64) -> ClassModelSet {
-    let topology = fig6::topology_for(Technique::Pcs, 48);
+    let topology = fig6::topology(48);
     PcsController::train_for(&topology, NodeCapacity::XEON_E5645, seed).expect("profiling campaign")
 }
 
-fn cell(models: &ClassModelSet, technique: Technique, rate: f64, seed: u64) -> pcs_sim::RunReport {
-    let mut config = SimConfig::paper_like(fig6::topology_for(technique, 48), rate, seed);
+fn cell(
+    models: &ClassModelSet,
+    technique: &TechniqueRef,
+    rate: f64,
+    seed: u64,
+) -> pcs_sim::RunReport {
+    let mut config = SimConfig::paper_like(fig6::topology(48), rate, seed);
     config.node_count = 16;
     config.horizon = SimDuration::from_secs(40);
     config.warmup = SimDuration::from_secs(8);
-    fig6::run_cell(&config, technique, models)
+    fig6::run_cell(&config, technique.as_ref(), models)
 }
 
 #[test]
@@ -30,8 +36,8 @@ fn pcs_beats_basic_under_churn() {
     let mut basic_overall = 0.0;
     let mut pcs_overall = 0.0;
     for &seed in &seeds {
-        let basic = cell(&models, Technique::Basic, 300.0, seed);
-        let pcs = cell(&models, Technique::Pcs, 300.0, seed);
+        let basic = cell(&models, &techniques::basic(), 300.0, seed);
+        let pcs = cell(&models, &techniques::pcs(), 300.0, seed);
         assert!(pcs.stats.migrations > 0, "PCS must act under churn");
         basic_tail += basic.component_latency.p99;
         pcs_tail += pcs.component_latency.p99;
@@ -57,8 +63,8 @@ fn redundancy_crossover_helps_light_hurts_heavy() {
     // The paper's central observation about RED-k: some latency reduction
     // under light load, severe deterioration under heavy load.
     let models = trained_models(102);
-    let light_basic = cell(&models, Technique::Basic, 10.0, 5);
-    let light_red = cell(&models, Technique::Red(3), 10.0, 5);
+    let light_basic = cell(&models, &techniques::basic(), 10.0, 5);
+    let light_red = cell(&models, &techniques::red(3), 10.0, 5);
     assert!(
         light_red.overall_latency.mean < light_basic.overall_latency.mean * 1.1,
         "at light load RED-3 must be comparable or better: {:.2} vs {:.2} ms",
@@ -66,8 +72,8 @@ fn redundancy_crossover_helps_light_hurts_heavy() {
         light_basic.overall_mean_ms()
     );
 
-    let heavy_basic = cell(&models, Technique::Basic, 500.0, 5);
-    let heavy_red5 = cell(&models, Technique::Red(5), 500.0, 5);
+    let heavy_basic = cell(&models, &techniques::basic(), 500.0, 5);
+    let heavy_red5 = cell(&models, &techniques::red(5), 500.0, 5);
     assert!(
         heavy_red5.overall_latency.mean > heavy_basic.overall_latency.mean * 2.0,
         "at heavy load RED-5 must collapse: {:.2} vs {:.2} ms",
@@ -85,8 +91,8 @@ fn conservative_reissue_degrades_less_than_aggressive_redundancy() {
     // Paper: "this conservative reissue technique causes less performance
     // deterioration when load becomes heavier."
     let models = trained_models(103);
-    let red5 = cell(&models, Technique::Red(5), 500.0, 9);
-    let ri99 = cell(&models, Technique::Ri(0.99), 500.0, 9);
+    let red5 = cell(&models, &techniques::red(5), 500.0, 9);
+    let ri99 = cell(&models, &techniques::ri(99.0), 500.0, 9);
     assert!(
         ri99.overall_latency.mean < red5.overall_latency.mean,
         "RI-99 {:.2}ms must degrade less than RED-5 {:.2}ms at 500 req/s",
@@ -106,8 +112,8 @@ fn conservative_reissue_degrades_less_than_aggressive_redundancy() {
 #[test]
 fn identical_seeds_reproduce_identical_reports() {
     let models = trained_models(104);
-    let a = cell(&models, Technique::Pcs, 200.0, 77);
-    let b = cell(&models, Technique::Pcs, 200.0, 77);
+    let a = cell(&models, &techniques::pcs(), 200.0, 77);
+    let b = cell(&models, &techniques::pcs(), 200.0, 77);
     assert_eq!(a.stats, b.stats);
     assert_eq!(a.component_latency.count, b.component_latency.count);
     assert!((a.component_latency.p99 - b.component_latency.p99).abs() < 1e-15);
@@ -118,12 +124,12 @@ fn identical_seeds_reproduce_identical_reports() {
 fn every_request_is_accounted_for() {
     let models = trained_models(105);
     for technique in [
-        Technique::Basic,
-        Technique::Red(3),
-        Technique::Ri(0.90),
-        Technique::Pcs,
+        techniques::basic(),
+        techniques::red(3),
+        techniques::ri(90.0),
+        techniques::pcs(),
     ] {
-        let report = cell(&models, technique, 100.0, 31);
+        let report = cell(&models, &technique, 100.0, 31);
         assert!(
             report.stats.requests_completed > 1000,
             "{}: too few completions",

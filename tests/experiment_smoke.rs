@@ -5,6 +5,7 @@
 //! paper's numbers — `tests/end_to_end.rs` owns the qualitative claims.
 
 use pcs::experiments::{fig5, fig6, fig7};
+use pcs::techniques;
 use pcs_sim::Simulation;
 
 #[test]
@@ -39,11 +40,7 @@ fn fig6_pipeline_smoke() {
     // default horizon, a small searching pool.
     let cells = fig6::run_sweep(&fig6::Fig6Config {
         rates: vec![80.0],
-        techniques: vec![
-            fig6::Technique::Basic,
-            fig6::Technique::Red(2),
-            fig6::Technique::Pcs,
-        ],
+        techniques: techniques::smoke_set(),
         search_vm_budget: 8,
         horizon_scale: 0.2,
         threads: 2,
@@ -81,8 +78,7 @@ fn fig6_single_cell_is_deterministic() {
     // The sweep compares techniques on a common trace; that only means
     // anything if a cell re-run reproduces exactly. (Single-threaded
     // re-check of what the parallel sweep assumes.)
-    let config =
-        pcs_sim::SimConfig::paper_like(fig6::topology_for(fig6::Technique::Basic, 8), 80.0, 2026);
+    let config = pcs_sim::SimConfig::paper_like(fig6::topology(8), 80.0, 2026);
     let run = |cfg: &pcs_sim::SimConfig| {
         let mut cfg = cfg.clone();
         cfg.horizon = cfg.horizon.mul_f64(0.2);

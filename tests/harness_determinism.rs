@@ -53,6 +53,35 @@ fn hetero_report_is_byte_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn mmpp_report_is_byte_identical_across_runs_and_thread_counts() {
+    assert_reproducible("mmpp");
+}
+
+/// FNV-1a 64 over the rendered report: a compact byte-exact pin.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The mmpp smoke report is pinned byte-identical across PRs, not just
+/// within a run: any change to the MMPP sampling path, the technique
+/// specs it sweeps (Basic/LL/PCS), the seed derivation or the JSON writer
+/// shows up here as a hash change and must be deliberate.
+#[test]
+fn mmpp_smoke_report_bytes_are_pinned() {
+    let report = render("mmpp", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0x9ca1_1c5d_61d9_260d,
+        "mmpp smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
+#[test]
 fn different_seeds_change_the_report() {
     let scenario = scenarios::find("diurnal").unwrap();
     let params_a = SweepParams {

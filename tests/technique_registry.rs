@@ -1,0 +1,191 @@
+//! The technique registry's acceptance properties: exact name
+//! round-trips (including property-tested family parameters), CLI-style
+//! technique selection on sweep scenarios, and the new baselines actually
+//! running in the extended scenarios.
+
+use pcs::scenarios;
+use pcs::techniques::{self, TechniqueSpec};
+use pcs_harness::{run_sweep, Json, SweepParams};
+use proptest::prelude::*;
+
+/// Round-trip equivalence: canonical name and replication agree.
+fn round_trips(spec: &dyn TechniqueSpec) {
+    let reparsed =
+        techniques::parse(&spec.name()).unwrap_or_else(|e| panic!("{} parses: {e}", spec.name()));
+    assert_eq!(reparsed.name(), spec.name());
+    assert_eq!(reparsed.replication(), spec.replication());
+}
+
+#[test]
+fn every_registered_technique_round_trips() {
+    for spec in techniques::registry() {
+        round_trips(spec.as_ref());
+    }
+    // The sets are drawn from the registry's vocabulary too.
+    for set in [
+        techniques::paper_set(),
+        techniques::smoke_set(),
+        techniques::extended_set(),
+        techniques::extended_smoke_set(),
+    ] {
+        for spec in set {
+            round_trips(spec.as_ref());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn red_family_round_trips(k in 2usize..=8) {
+        round_trips(techniques::red(k).as_ref());
+    }
+
+    #[test]
+    fn ri_family_round_trips(percent_centi in 1u32..=9999) {
+        // Percentiles on a 0.01% grid across (0, 100): covers the paper's
+        // 90/99, the ambiguous 99.5 vs 99.51 pair, and everything the CLI
+        // can reasonably be handed.
+        let percent = percent_centi as f64 / 100.0;
+        round_trips(techniques::ri(percent).as_ref());
+    }
+
+    #[test]
+    fn ri_integral_percents_render_integrally(percent in 1u32..=99) {
+        // A CLI token like `ri-29` must name itself `RI-29`, never
+        // `RI-28.999999999999996` (the fraction-unit regression).
+        let spec = techniques::parse(&format!("ri-{percent}")).unwrap();
+        prop_assert_eq!(spec.name(), format!("RI-{percent}"));
+    }
+}
+
+#[test]
+fn ri_display_disambiguates_close_percentiles() {
+    // Regression: the old `{:.0}` rendering (of the equivalent fractions
+    // 0.995 and 0.9951) collapsed both to "RI-100".
+    let a = techniques::ri(99.5);
+    let b = techniques::ri(99.51);
+    assert_eq!(a.name(), "RI-99.5");
+    assert_eq!(b.name(), "RI-99.51");
+    round_trips(a.as_ref());
+    round_trips(b.as_ref());
+}
+
+/// `--techniques basic,pcs` on fig6 must select exactly those columns, in
+/// order, for every rate.
+#[test]
+fn fig6_technique_selection_controls_the_columns() {
+    let scenario = scenarios::find("fig6").expect("fig6 registered");
+    let params = SweepParams {
+        seed: 1,
+        smoke: true,
+        techniques: Some(vec!["basic".to_string(), "pcs".to_string()]),
+        ..SweepParams::default()
+    };
+    let plan = scenario.plan(&params);
+    let techniques_per_cell: Vec<&Json> = plan
+        .cells
+        .iter()
+        .map(|cell| {
+            cell.params
+                .iter()
+                .find(|(k, _)| k == "technique")
+                .map(|(_, v)| v)
+                .expect("fig6 cells carry a technique param")
+        })
+        .collect();
+    // Smoke mode runs one rate; the technique axis is exactly basic,pcs.
+    assert_eq!(
+        techniques_per_cell,
+        vec![&Json::from("Basic"), &Json::from("PCS")]
+    );
+}
+
+#[test]
+fn unknown_technique_names_are_rejected_with_the_vocabulary() {
+    let error = techniques::parse_list("basic,warp-drive,pcs").unwrap_err();
+    let message = error.to_string();
+    assert!(message.contains("warp-drive"));
+    assert!(message.contains("valid techniques"));
+    assert!(message.contains("oracle"), "{message}");
+}
+
+/// The new baselines run end to end in the extended scenarios: `ll` and
+/// `oracle` in diurnal, `cap` in hetero, and their cells land in the
+/// report with real measurements.
+#[test]
+fn new_baselines_run_in_diurnal_and_hetero() {
+    let cases = [
+        ("diurnal", vec!["ll".to_string(), "oracle".to_string()]),
+        ("hetero", vec!["cap".to_string(), "pcs".to_string()]),
+    ];
+    for (name, selection) in cases {
+        let scenario = scenarios::find(name).expect("scenario registered");
+        let params = SweepParams {
+            seed: scenario.default_seed(),
+            threads: 2,
+            smoke: true,
+            techniques: Some(selection.clone()),
+            ..SweepParams::default()
+        };
+        let outcome = run_sweep(&scenario.plan(&params), &params);
+        assert_eq!(
+            outcome.cells.len(),
+            selection.len(),
+            "{name}: one cell per technique"
+        );
+        for (cell, wanted) in outcome.cells.iter().zip(&selection) {
+            let technique = cell
+                .value("technique")
+                .and_then(Json::as_str)
+                .expect("technique param");
+            assert_eq!(
+                technique.to_lowercase(),
+                *wanted,
+                "{name}: cells follow the selection order"
+            );
+            let completed = cell
+                .value_f64("requests_completed")
+                .expect("requests_completed metric");
+            assert!(
+                completed > 100.0,
+                "{name}/{technique}: the cell must actually serve traffic ({completed})"
+            );
+        }
+        // The selection is recorded in the report's provenance.
+        let report = outcome.to_json(name, &params).render();
+        assert!(
+            report.contains("\"techniques_override\""),
+            "{name}: report must record the technique selection"
+        );
+    }
+}
+
+/// The oracle must order at least as much scheduling activity as plain
+/// PCS monitoring allows — it sees demand without noise, so on the same
+/// trace it should act (the exact counts are scenario-dependent).
+#[test]
+fn oracle_and_ll_schedule_real_migrations_under_churn() {
+    let scenario = scenarios::find("mmpp").expect("mmpp registered");
+    let params = SweepParams {
+        seed: scenario.default_seed(),
+        threads: 2,
+        smoke: true,
+        techniques: Some(vec![
+            "ll".to_string(),
+            "oracle".to_string(),
+            "pcs".to_string(),
+        ]),
+        ..SweepParams::default()
+    };
+    let outcome = run_sweep(&scenario.plan(&params), &params);
+    for cell in &outcome.cells {
+        let technique = cell.value("technique").and_then(Json::as_str).unwrap();
+        let migrations = cell.value_f64("migrations").unwrap();
+        assert!(
+            migrations > 0.0,
+            "{technique} must migrate under bursty churn"
+        );
+    }
+}
