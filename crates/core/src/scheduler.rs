@@ -135,12 +135,34 @@ impl ComponentScheduler {
     /// 3–16). The matrix is left in its post-migration state, so callers
     /// can inspect predicted latencies under the new allocation.
     pub fn run(&self, matrix: &mut PerformanceMatrix) -> ScheduleOutcome {
+        let m = matrix.component_count();
+        self.run_masked(matrix, vec![true; m], 0)
+    }
+
+    /// [`ComponentScheduler::run`] with an explicit initial candidate set
+    /// and a count of migrations already spent this interval against
+    /// [`SchedulerConfig::max_migrations`]. A liveness-aware controller
+    /// uses this after its evacuation pass: evacuated components leave the
+    /// candidate set (Algorithm 1 removes migrated components) and their
+    /// moves consume the interval's budget.
+    ///
+    /// # Panics
+    /// Panics if `candidates` does not have one entry per component.
+    pub fn run_masked(
+        &self,
+        matrix: &mut PerformanceMatrix,
+        mut candidates: Vec<bool>,
+        prior_migrations: usize,
+    ) -> ScheduleOutcome {
+        assert_eq!(
+            candidates.len(),
+            matrix.component_count(),
+            "one candidate flag per component"
+        );
         let analysis_time = matrix.build_time();
         let search_start = Instant::now();
-        let m = matrix.component_count();
-        // Line 3: C[Nc] = {c1, …, cm}.
-        let mut candidates = vec![true; m];
-        let mut remaining = m;
+        // Line 3: C[Nc] = {c1, …, cm} (minus the caller's exclusions).
+        let mut remaining = candidates.iter().filter(|&&c| c).count();
         let mut decisions = Vec::new();
         let predicted_before = matrix.overall_latency();
         let mut iterations = 0usize;
@@ -148,7 +170,7 @@ impl ComponentScheduler {
         // Line 5: loop while candidates remain and the best gain clears ε.
         while remaining > 0 {
             if let Some(cap) = self.config.max_migrations {
-                if decisions.len() >= cap {
+                if prior_migrations + decisions.len() >= cap {
                     break;
                 }
             }
@@ -315,6 +337,33 @@ mod tests {
             full_rebuild: false,
         });
         let outcome = scheduler.schedule(&inputs, &models, MatrixConfig::default());
+        assert!(outcome.decisions.len() <= 1);
+    }
+
+    #[test]
+    fn run_masked_respects_exclusions_and_prior_budget() {
+        let models = linear_models();
+        let inputs = inputs(&[10.0, 9.0, 0.0, 0.0], &[0, 0, 1, 1]);
+        let scheduler = ComponentScheduler::new(SchedulerConfig {
+            epsilon_secs: 0.00001,
+            max_migrations: Some(2),
+            full_rebuild: false,
+        });
+        // Components 0 and 1 are masked out: nothing movable remains on
+        // the hot nodes, so the greedy finds no worthwhile move.
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let outcome = scheduler.run_masked(&mut matrix, vec![false, false, true, true], 0);
+        assert!(outcome.decisions.is_empty());
+
+        // A prior spend of 2 exhausts the interval budget outright.
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let outcome = scheduler.run_masked(&mut matrix, vec![true; 4], 2);
+        assert!(outcome.decisions.is_empty());
+        assert_eq!(outcome.iterations, 0);
+
+        // With one prior migration, at most one more is accepted.
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let outcome = scheduler.run_masked(&mut matrix, vec![true; 4], 1);
         assert!(outcome.decisions.len() <= 1);
     }
 

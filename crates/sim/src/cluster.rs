@@ -6,12 +6,15 @@
 //! service components themselves. Batch jobs churn (arrive/depart);
 //! component demand moves with migrations.
 
+use crate::faults::NodeStatus;
 use pcs_types::{ContentionVector, JobId, NodeCapacity, NodeId, ResourceVector};
 
 /// One physical machine.
 #[derive(Debug, Clone)]
 pub struct NodeState {
     capacity: NodeCapacity,
+    /// False while the node is killed (fault injection).
+    alive: bool,
     /// Resident batch jobs and their demands.
     jobs: Vec<(JobId, ResourceVector)>,
     /// Cached sum of batch-job demand.
@@ -24,6 +27,7 @@ impl NodeState {
     fn new(capacity: NodeCapacity) -> Self {
         NodeState {
             capacity,
+            alive: true,
             jobs: Vec::new(),
             batch_demand: ResourceVector::ZERO,
             component_demand: ResourceVector::ZERO,
@@ -48,6 +52,11 @@ impl NodeState {
     /// Number of resident batch jobs.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// True unless the node is currently killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive
     }
 }
 
@@ -111,16 +120,72 @@ impl Cluster {
     ///
     /// # Panics
     /// Panics if the job is not resident on the node (events are exact in
-    /// a DES, so a miss is a simulator bug).
+    /// a DES, so on a fault-free cluster a miss is a simulator bug; use
+    /// [`Cluster::finish_job`] where a kill may have vaporised the job).
     pub fn end_job(&mut self, node: NodeId, job: JobId) {
+        assert!(
+            self.finish_job(node, job),
+            "job {job} not resident on {node}"
+        );
+    }
+
+    /// [`Cluster::end_job`], tolerating jobs that no longer exist —
+    /// a node kill clears its resident jobs while their departure events
+    /// stay queued. Returns whether the job was found.
+    pub fn finish_job(&mut self, node: NodeId, job: JobId) -> bool {
         let n = &mut self.nodes[node.index()];
-        let pos = n
-            .jobs
-            .iter()
-            .position(|(id, _)| *id == job)
-            .unwrap_or_else(|| panic!("job {job} not resident on {node}"));
+        let Some(pos) = n.jobs.iter().position(|(id, _)| *id == job) else {
+            return false;
+        };
         let (_, demand) = n.jobs.swap_remove(pos);
         n.batch_demand = n.batch_demand.saturating_sub(&demand);
+        true
+    }
+
+    /// True unless the node is currently killed.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    /// Kills a node: it stops serving, its batch jobs vanish and its
+    /// registered component demand is cleared (the caller zeroes the
+    /// matching per-component contributions). Returns `false` if the node
+    /// was already dead (idempotent).
+    pub fn kill_node(&mut self, node: NodeId) -> bool {
+        let n = &mut self.nodes[node.index()];
+        if !n.alive {
+            return false;
+        }
+        n.alive = false;
+        n.jobs.clear();
+        n.batch_demand = ResourceVector::ZERO;
+        n.component_demand = ResourceVector::ZERO;
+        true
+    }
+
+    /// Restores a killed node: it comes back empty and may serve again.
+    /// Returns `false` if the node was already alive (idempotent).
+    pub fn restore_node(&mut self, node: NodeId) -> bool {
+        let n = &mut self.nodes[node.index()];
+        if n.alive {
+            return false;
+        }
+        n.alive = true;
+        true
+    }
+
+    /// Per-node liveness, densely indexed (for scheduler hooks).
+    pub fn statuses(&self) -> Vec<NodeStatus> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                if n.alive {
+                    NodeStatus::Up
+                } else {
+                    NodeStatus::Down
+                }
+            })
+            .collect()
     }
 
     /// Adds a component's own demand to a node (placement or migration
@@ -221,6 +286,30 @@ mod tests {
         assert!((u1.core_usage - 3.0 / 6.0).abs() < 1e-12);
         assert!((u1.disk_util - 4.0 * u0.disk_util).abs() < 1e-12);
         assert_eq!(c.capacities(), vec![strong, weak]);
+    }
+
+    #[test]
+    fn kill_clears_jobs_and_restore_is_idempotent() {
+        let mut c = Cluster::new(2, NodeCapacity::XEON_E5645);
+        let n0 = NodeId::new(0);
+        let job = c.start_job(n0, demand(3.0));
+        c.add_component_demand(n0, demand(1.0));
+        assert!(c.is_alive(n0));
+
+        assert!(c.kill_node(n0), "first kill takes effect");
+        assert!(!c.kill_node(n0), "killing a dead node is a no-op");
+        assert!(!c.is_alive(n0));
+        assert_eq!(c.node(n0).job_count(), 0);
+        assert_eq!(c.node(n0).total_demand(), ResourceVector::ZERO);
+        assert_eq!(c.statuses(), vec![NodeStatus::Down, NodeStatus::Up]);
+
+        // The job's departure event finds nothing — tolerated, not fatal.
+        assert!(!c.finish_job(n0, job));
+
+        assert!(c.restore_node(n0), "first restore takes effect");
+        assert!(!c.restore_node(n0), "restoring a live node is a no-op");
+        assert!(c.is_alive(n0));
+        assert_eq!(c.statuses(), vec![NodeStatus::Up, NodeStatus::Up]);
     }
 
     #[test]

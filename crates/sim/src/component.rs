@@ -51,6 +51,12 @@ pub struct PhysicalComponent {
     pub node: NodeId,
     /// Pending migration destination, if one is in flight.
     pub migrating_to: Option<NodeId>,
+    /// Fault epoch: bumped when the hosting node is killed, so completion
+    /// events of vaporised executions arrive stale and are ignored.
+    pub epoch: u32,
+    /// When the hosting node was killed, if the component is currently
+    /// orphaned (stranded on a dead node, awaiting re-placement).
+    pub orphaned_since: Option<SimTime>,
     /// FIFO queue of waiting sub-requests.
     pub queue: VecDeque<QueueItem>,
     /// The sub-request in service, if any.
@@ -188,6 +194,8 @@ impl Deployment {
                     replica: 0,
                     node: NodeId::new(0),
                     migrating_to: None,
+                    epoch: 0,
+                    orphaned_since: None,
                     queue: VecDeque::new(),
                     in_service: None,
                     executions: 0,

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::{FailoverPolicy, FaultPlan};
 use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
 use pcs_workloads::{ArrivalPattern, JobGenConfig, ServiceTopology};
@@ -93,6 +94,11 @@ pub struct SimConfig {
     pub rate_window: SimDuration,
     /// Capacity of each component's observed-service-time window.
     pub service_window: usize,
+    /// Scheduled node kills/restores. The empty plan (the default) leaves
+    /// the run bit-for-bit identical to a fault-free build.
+    pub faults: FaultPlan,
+    /// What happens to a killed node's disrupted sub-requests.
+    pub failover: FailoverPolicy,
 }
 
 impl SimConfig {
@@ -127,6 +133,8 @@ impl SimConfig {
             cancel_delay: SimDuration::from_millis(3),
             rate_window: SimDuration::from_secs(5),
             service_window: 256,
+            faults: FaultPlan::none(),
+            failover: FailoverPolicy::default(),
         }
     }
 
@@ -190,6 +198,20 @@ impl SimConfig {
             "scheduler interval must be non-zero"
         );
         assert!(self.service_window > 0, "service window needs capacity");
+        self.faults.validate(self.node_count);
+        let initially_alive = self
+            .faults
+            .initial_alive(self.node_count)
+            .iter()
+            .filter(|&&a| a)
+            .count();
+        assert!(
+            initially_alive >= self.deployment.replication,
+            "a fault plan may not kill so many nodes at t=0 that replicas \
+             cannot be placed on distinct live nodes ({initially_alive} alive, \
+             replication {})",
+            self.deployment.replication
+        );
     }
 
     /// Total number of physical components in the deployment (the pool is
@@ -252,6 +274,33 @@ mod tests {
             amplitude: 1.5,
             period: SimDuration::from_secs(40),
         };
+        cfg.validate();
+    }
+
+    #[test]
+    fn fault_plan_validates_with_the_config() {
+        use crate::faults::{FailoverPolicy, FaultPlan};
+        use pcs_types::SimTime;
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_count = 6;
+        cfg.faults =
+            FaultPlan::kill_restore(6, 9, SimTime::from_secs(20), SimDuration::from_secs(5));
+        cfg.failover = FailoverPolicy::Drop;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "names node")]
+    fn fault_plan_outside_cluster_rejected() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use pcs_types::{NodeId, SimTime};
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_count = 4;
+        cfg.faults = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            node: NodeId::new(9),
+            kind: FaultKind::Kill,
+        }]);
         cfg.validate();
     }
 

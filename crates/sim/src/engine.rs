@@ -5,6 +5,7 @@
 //! bit-reproducible under a fixed seed — floating-point latency draws never
 //! influence pop order of simultaneous events.
 
+use crate::faults::FaultKind;
 use pcs_types::{ComponentId, JobId, NodeId, RequestId, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,6 +20,10 @@ pub enum Event {
     ServiceCompletion {
         /// The component that finished.
         component: ComponentId,
+        /// The component's fault epoch when service began. A node kill
+        /// bumps the epoch, so completions of vaporised executions arrive
+        /// stale and are ignored.
+        epoch: u32,
     },
     /// A cancellation message for a queued duplicate arrives at a replica.
     CancelArrival {
@@ -69,6 +74,14 @@ pub enum Event {
     /// End of the measurement warm-up: metrics are reset so summaries
     /// reflect steady state only.
     WarmupEnd,
+    /// A scheduled membership change from the run's
+    /// [`crate::faults::FaultPlan`] strikes a node.
+    NodeFault {
+        /// The affected node.
+        node: NodeId,
+        /// Kill or restore.
+        kind: FaultKind,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]

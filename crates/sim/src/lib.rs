@@ -46,6 +46,7 @@ pub mod cluster;
 pub mod component;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod ground_truth;
 pub mod metrics;
 pub mod placement;
@@ -55,8 +56,9 @@ pub mod request;
 pub mod world;
 
 pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
+pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
-pub use metrics::{RunReport, TechniqueStats};
+pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};
 pub use policy::{
     BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerHook,
 };

@@ -11,7 +11,7 @@
 //! wasted (duplicate) executions, cancellations, reissues, migrations.
 
 use pcs_monitor::{LatencyRecorder, LatencySummary};
-use pcs_types::SimTime;
+use pcs_types::{SimDuration, SimTime};
 
 /// Mechanism counters for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +36,85 @@ pub struct TechniqueStats {
     pub batch_jobs_started: u64,
 }
 
+/// Mechanism counters of the fault-injection subsystem. All zero on a
+/// run with an empty [`crate::faults::FaultPlan`].
+///
+/// Unlike [`TechniqueStats`], these span the *whole* run rather than the
+/// measured window: faults are structural events, and resetting them at
+/// warm-up end would desynchronise them from the world's orphan state
+/// (a kill during warm-up must still report its kill, its orphans and
+/// their eventual evacuations consistently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Effective node kills (idempotent duplicates excluded).
+    pub kills: u64,
+    /// Effective node restores.
+    pub restores: u64,
+    /// Components stranded on a node the moment it was killed.
+    pub orphaned: u64,
+    /// Orphans re-placed onto a live node by a scheduler migration.
+    pub evacuated: u64,
+    /// Orphans resolved by their node coming back before any migration.
+    pub restored_in_place: u64,
+    /// Requests lost because a sub-request had no live replica (or the
+    /// failover policy was [`crate::faults::FailoverPolicy::Drop`]).
+    pub requests_lost: u64,
+    /// Disrupted sub-requests re-dispatched to a surviving replica.
+    pub failed_over: u64,
+}
+
+/// Fault-injection measurements of one run: the mechanism counters, the
+/// evacuation-latency distribution (kill → orphan re-placed, by migration
+/// or by restore), and the tail metric split into pre/during/post-fault
+/// windows. [`FaultReport::default`] is what an empty plan reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Mechanism counters.
+    pub stats: FaultStats,
+    /// Mean kill→re-placement latency over resolved orphans (seconds;
+    /// 0 when nothing was orphaned).
+    pub evacuation_mean: f64,
+    /// Worst kill→re-placement latency over resolved orphans (seconds).
+    pub evacuation_max: f64,
+    /// Orphans never re-placed before the run ended (blind techniques
+    /// leave every orphan of an unrestored node here).
+    pub unresolved_orphans: u64,
+    /// Component latency of completions before the first kill.
+    pub pre_fault: LatencySummary,
+    /// Component latency while at least one node was down.
+    pub during_fault: LatencySummary,
+    /// Component latency after every killed node was restored.
+    pub post_fault: LatencySummary,
+}
+
+impl Default for FaultReport {
+    fn default() -> Self {
+        FaultReport {
+            stats: FaultStats::default(),
+            evacuation_mean: 0.0,
+            evacuation_max: 0.0,
+            unresolved_orphans: 0,
+            pre_fault: LatencySummary::EMPTY,
+            during_fault: LatencySummary::EMPTY,
+            post_fault: LatencySummary::EMPTY,
+        }
+    }
+}
+
+impl FaultReport {
+    /// True when faults struck and every orphan was re-placed.
+    pub fn evacuation_complete(&self) -> bool {
+        self.stats.orphaned > 0 && self.unresolved_orphans == 0
+    }
+
+    /// The run's evacuation latency in milliseconds: the worst
+    /// kill→re-placement time, defined only when evacuation completed.
+    pub fn evacuation_ms(&self) -> Option<f64> {
+        self.evacuation_complete()
+            .then_some(self.evacuation_max * 1e3)
+    }
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -53,6 +132,8 @@ pub struct RunReport {
     pub overall_latency: LatencySummary,
     /// Mechanism counters.
     pub stats: TechniqueStats,
+    /// Fault-injection measurements (all-default on an empty fault plan).
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -69,21 +150,66 @@ impl RunReport {
     }
 }
 
+/// Fault phase of a latency sample: before the first kill, while any
+/// node is down, or after the last downed node was restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultPhase {
+    Pre = 0,
+    During = 1,
+    Post = 2,
+}
+
 /// Mutable collectors owned by the world during a run.
 #[derive(Debug, Default)]
 pub(crate) struct Collectors {
     pub component_latency: LatencyRecorder,
     pub overall_latency: LatencyRecorder,
     pub stats: TechniqueStats,
+    pub fault_stats: FaultStats,
+    /// Component latency split by fault phase (pre/during/post).
+    pub phase_latency: [LatencyRecorder; 3],
+    /// Kill→re-placement latency accumulators (seconds).
+    pub evac_sum: f64,
+    pub evac_max: f64,
+    pub evac_count: u64,
 }
 
 impl Collectors {
     /// Clears measured data at the end of warm-up (counters for
-    /// mechanism totals keep accumulating from zero again).
+    /// mechanism totals keep accumulating from zero again). Fault
+    /// counters and evacuation latencies deliberately survive the reset
+    /// — see [`FaultStats`] — while the per-phase latency windows are
+    /// cleared like every other latency sample.
     pub fn reset_for_measurement(&mut self) {
         self.component_latency = LatencyRecorder::new();
         self.overall_latency = LatencyRecorder::new();
         self.stats = TechniqueStats::default();
+        self.phase_latency = Default::default();
+    }
+
+    /// Records one resolved orphan's kill→re-placement latency.
+    pub fn record_evacuation(&mut self, latency: SimDuration) {
+        let secs = latency.as_secs_f64();
+        self.evac_sum += secs;
+        self.evac_max = self.evac_max.max(secs);
+        self.evac_count += 1;
+    }
+
+    /// Assembles the fault report at run end.
+    pub fn fault_report(&self, unresolved_orphans: u64) -> FaultReport {
+        FaultReport {
+            stats: self.fault_stats,
+            evacuation_mean: if self.evac_count > 0 {
+                self.evac_sum / self.evac_count as f64
+            } else {
+                0.0
+            },
+            evacuation_max: self.evac_max,
+            unresolved_orphans,
+            pre_fault: self.phase_latency[FaultPhase::Pre as usize].summary(),
+            during_fault: self.phase_latency[FaultPhase::During as usize].summary(),
+            post_fault: self.phase_latency[FaultPhase::Post as usize].summary(),
+        }
     }
 }
 
@@ -105,6 +231,7 @@ mod tests {
             component_latency: rec.summary(),
             overall_latency: rec.summary(),
             stats: TechniqueStats::default(),
+            faults: FaultReport::default(),
         };
         assert!((report.component_p99_ms() - 99.01).abs() < 0.1);
         assert!((report.overall_mean_ms() - 50.5).abs() < 0.01);
@@ -115,8 +242,40 @@ mod tests {
         let mut c = Collectors::default();
         c.component_latency.record_secs(1.0);
         c.stats.executions = 5;
+        c.fault_stats.kills = 1;
+        c.fault_stats.orphaned = 1;
+        c.record_evacuation(SimDuration::from_secs(1));
+        c.phase_latency[1].record_secs(0.5);
         c.reset_for_measurement();
         assert!(c.component_latency.is_empty());
         assert_eq!(c.stats.executions, 0);
+        assert!(c.phase_latency[1].is_empty());
+        // Fault accounting spans the whole run: a warm-up kill keeps its
+        // kill/orphan counters so they stay consistent with the world's
+        // orphan state (and the evacuation record survives with them).
+        assert_eq!(c.fault_stats.kills, 1);
+        assert_eq!(c.fault_stats.orphaned, 1);
+        assert_eq!(c.evac_count, 1);
+    }
+
+    #[test]
+    fn fault_report_evacuation_semantics() {
+        let mut c = Collectors::default();
+        // No faults at all: evacuation undefined.
+        assert_eq!(c.fault_report(0).evacuation_ms(), None);
+
+        c.fault_stats.orphaned = 2;
+        c.fault_stats.evacuated = 2;
+        c.record_evacuation(SimDuration::from_secs(2));
+        c.record_evacuation(SimDuration::from_secs(4));
+        let complete = c.fault_report(0);
+        assert!(complete.evacuation_complete());
+        assert_eq!(complete.evacuation_ms(), Some(4000.0));
+        assert!((complete.evacuation_mean - 3.0).abs() < 1e-12);
+
+        // A leftover orphan makes the evacuation latency undefined.
+        let incomplete = c.fault_report(1);
+        assert!(!incomplete.evacuation_complete());
+        assert_eq!(incomplete.evacuation_ms(), None);
     }
 }

@@ -39,19 +39,27 @@ pub fn round_robin(components: &mut [PhysicalComponent], node_count: usize) {
 }
 
 /// Round-robin placement that additionally avoids putting two members of
-/// any replica group on the same node.
+/// any replica group on the same node, and never targets a node whose
+/// `alive` flag is false (a fault plan may kill nodes at t = 0).
 ///
 /// Plain round-robin can collide at the partition-space wrap (the last
 /// groups of a stage contain both high- and low-numbered workers); this
-/// variant advances past conflicting nodes, falling back to the plain
-/// round-robin slot if every node conflicts (only possible when
-/// `node_count` < group size, which the config validator excludes).
+/// variant advances past conflicting nodes, falling back to the first
+/// live round-robin slot if every node conflicts (only possible when the
+/// live node count < group size, which the config validator excludes).
+///
+/// # Panics
+/// Panics unless `alive` has `node_count` entries with at least one live
+/// node.
 pub fn anti_affine(
     components: &mut [PhysicalComponent],
     deployment: &crate::component::Deployment,
     node_count: usize,
+    alive: &[bool],
 ) {
     assert!(node_count > 0, "need at least one node");
+    assert_eq!(alive.len(), node_count, "one liveness flag per node");
+    assert!(alive.iter().any(|&a| a), "need at least one live node");
     let memberships = group_memberships(deployment, components.len());
     let mut placed: Vec<Option<NodeId>> = vec![None; components.len()];
     let mut cursor = 0usize;
@@ -64,14 +72,22 @@ pub fn anti_affine(
                     .any(|(j, _)| j != i && placed[j] == Some(node) && memberships[j].contains(g))
             })
         };
-        let mut chosen = NodeId::from_index(cursor % node_count);
+        let mut chosen: Option<NodeId> = None;
+        let mut fallback: Option<NodeId> = None;
         for step in 0..node_count {
             let candidate = NodeId::from_index((cursor + step) % node_count);
+            if !alive[candidate.index()] {
+                continue;
+            }
+            if fallback.is_none() {
+                fallback = Some(candidate);
+            }
             if !conflicts(candidate, &placed) {
-                chosen = candidate;
+                chosen = Some(candidate);
                 break;
             }
         }
+        let chosen = chosen.or(fallback).expect("at least one live node");
         placed[i] = Some(chosen);
         components[i].node = chosen;
         cursor = chosen.index() + 1;
@@ -88,21 +104,25 @@ pub fn anti_affine(
 /// as many components.
 ///
 /// On a homogeneous cluster all weights are 1 and the strategy degrades
-/// to balanced anti-affine placement. The fallback when every node
-/// conflicts mirrors [`anti_affine`]: the best-fill node wins regardless
-/// (only reachable when `node_count` < group size, which the config
-/// validator excludes).
+/// to balanced anti-affine placement. Dead nodes (`alive` false — a fault
+/// plan killing at t = 0) are never targeted. The fallback when every
+/// live node conflicts mirrors [`anti_affine`]: the best-fill live node
+/// wins regardless (only reachable when the live node count < group size,
+/// which the config validator excludes).
 ///
 /// # Panics
 /// Panics unless `capacities` lists at least one node with positive
-/// capacity in every dimension.
+/// capacity in every dimension and `alive` marks at least one node live.
 pub fn capacity_aware(
     components: &mut [PhysicalComponent],
     deployment: &crate::component::Deployment,
     capacities: &[NodeCapacity],
+    alive: &[bool],
 ) {
     let node_count = capacities.len();
     assert!(node_count > 0, "need at least one node");
+    assert_eq!(alive.len(), node_count, "one liveness flag per node");
+    assert!(alive.iter().any(|&a| a), "need at least one live node");
     let max_cores = capacities.iter().map(|c| c.cores).fold(0.0, f64::max);
     let max_disk = capacities.iter().map(|c| c.disk_mbps).fold(0.0, f64::max);
     let max_net = capacities.iter().map(|c| c.net_mbps).fold(0.0, f64::max);
@@ -126,9 +146,13 @@ pub fn capacity_aware(
             })
         };
         let fill = |n: usize| (hosted[n] + 1) as f64 / weights[n].max(f64::MIN_POSITIVE);
+        #[allow(clippy::needless_range_loop)] // parallel indexing of alive/placed/hosted
         let best = |admit_conflicts: bool| -> Option<usize> {
             let mut best: Option<usize> = None;
             for n in 0..node_count {
+                if !alive[n] {
+                    continue;
+                }
                 if !admit_conflicts && conflicts(NodeId::from_index(n), &placed) {
                     continue;
                 }
@@ -201,7 +225,7 @@ mod tests {
             !replicas_on_distinct_nodes(&dep, &comps),
             "precondition: plain round-robin collides at the wrap"
         );
-        anti_affine(&mut comps, &dep, 8);
+        anti_affine(&mut comps, &dep, 8, &[true; 8]);
         assert!(replicas_on_distinct_nodes(&dep, &comps));
         // Balance stays reasonable.
         let mut counts = vec![0usize; 8];
@@ -217,7 +241,7 @@ mod tests {
         let topo = ServiceTopology::nutch(100);
         let dep = Deployment::new(&topo, 5);
         let mut comps = dep.instantiate(&topo);
-        anti_affine(&mut comps, &dep, 30);
+        anti_affine(&mut comps, &dep, 30, &[true; 30]);
         assert!(replicas_on_distinct_nodes(&dep, &comps));
     }
 
@@ -230,7 +254,7 @@ mod tests {
         let strong = NodeCapacity::XEON_E5645;
         let weak = NodeCapacity::new(6.0, 100.0, 62.5);
         let caps = vec![strong, strong, strong, strong, weak, weak, weak, weak];
-        capacity_aware(&mut comps, &dep, &caps);
+        capacity_aware(&mut comps, &dep, &caps, &vec![true; caps.len()]);
         assert!(replicas_on_distinct_nodes(&dep, &comps));
         let mut counts = vec![0usize; caps.len()];
         for c in &comps {
@@ -249,7 +273,7 @@ mod tests {
         let topo = ServiceTopology::nutch(10);
         let dep = Deployment::new(&topo, 1);
         let mut comps = dep.instantiate(&topo);
-        capacity_aware(&mut comps, &dep, &[NodeCapacity::XEON_E5645; 8]);
+        capacity_aware(&mut comps, &dep, &[NodeCapacity::XEON_E5645; 8], &[true; 8]);
         let mut counts = vec![0usize; 8];
         for c in &comps {
             counts[c.node.index()] += 1;
@@ -266,10 +290,32 @@ mod tests {
         let caps = crate::config::SimConfig::paper_like(topo.clone(), 1.0, 1).node_capacity;
         let mut a = dep.instantiate(&topo);
         let mut b = dep.instantiate(&topo);
-        capacity_aware(&mut a, &dep, &[caps; 8]);
-        capacity_aware(&mut b, &dep, &[caps; 8]);
+        capacity_aware(&mut a, &dep, &[caps; 8], &[true; 8]);
+        capacity_aware(&mut b, &dep, &[caps; 8], &[true; 8]);
         let nodes = |cs: &[PhysicalComponent]| cs.iter().map(|c| c.node).collect::<Vec<_>>();
         assert_eq!(nodes(&a), nodes(&b));
+    }
+
+    #[test]
+    fn dead_nodes_receive_no_components() {
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 2);
+        let alive = [true, false, true, true, false, true];
+        let mut anti = dep.instantiate(&topo);
+        anti_affine(&mut anti, &dep, 6, &alive);
+        let mut cap = dep.instantiate(&topo);
+        capacity_aware(&mut cap, &dep, &[NodeCapacity::XEON_E5645; 6], &alive);
+        for comps in [&anti, &cap] {
+            assert!(replicas_on_distinct_nodes(&dep, comps));
+            for c in comps.iter() {
+                assert!(
+                    alive[c.node.index()],
+                    "component {} placed on dead node {}",
+                    c.id,
+                    c.node
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! where the PCS controller (umbrella crate) plugs in. [`NoopScheduler`]
 //! never migrates (all non-PCS techniques).
 
+use crate::faults::NodeStatus;
 use pcs_types::{
     ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector, SimDuration, SimTime,
 };
@@ -127,6 +128,38 @@ pub struct SchedulerContext<'a> {
     pub stage_count: usize,
     /// Exact per-node aggregate demand (oracle ablations only).
     pub ground_truth_demand: &'a [ResourceVector],
+    /// Per-node liveness. A liveness-aware hook must never migrate onto a
+    /// [`NodeStatus::Down`] node and should evacuate components stranded
+    /// on one; the world rejects orders targeting dead nodes regardless.
+    pub node_status: &'a [NodeStatus],
+    /// Per component: the other members of its replica groups (empty
+    /// under replication 1). A migration that would co-locate a
+    /// component with one of its peers is rejected by the world, so
+    /// destination-picking hooks should skip peer-hosting nodes.
+    pub replica_peers: &'a [Vec<ComponentId>],
+}
+
+impl SchedulerContext<'_> {
+    /// True if `node` is a destination the world would accept for
+    /// migrating `component`: the node is up and hosts none of the
+    /// component's replica-group peers (the world silently rejects
+    /// orders violating either rule, so destination-picking hooks
+    /// should filter with this). Peers' in-flight migration
+    /// destinations are not visible here; the world's acceptance-time
+    /// check backstops that window.
+    pub fn legal_destination(&self, component: ComponentId, node: usize) -> bool {
+        if !self.node_status[node].is_up() {
+            return false;
+        }
+        !self
+            .replica_peers
+            .get(component.index())
+            .is_some_and(|peers| {
+                peers
+                    .iter()
+                    .any(|peer| self.components[peer.index()].node.index() == node)
+            })
+    }
 }
 
 /// A migration order returned by a scheduler hook.
@@ -184,6 +217,8 @@ mod tests {
             service_scv: &[],
             stage_count: 1,
             ground_truth_demand: &[],
+            node_status: &[],
+            replica_peers: &[],
         };
         assert!(hook.on_interval(&ctx).is_empty());
     }

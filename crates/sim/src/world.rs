@@ -5,8 +5,9 @@ use crate::cluster::Cluster;
 use crate::component::{Deployment, InFlight, PhysicalComponent, QueueItem};
 use crate::config::SimConfig;
 use crate::engine::{Event, EventQueue};
+use crate::faults::{FailoverPolicy, FaultKind};
 use crate::ground_truth::GroundTruth;
-use crate::metrics::{Collectors, RunReport};
+use crate::metrics::{Collectors, FaultPhase, RunReport};
 use crate::placement;
 use crate::policy::{ComponentMeta, DispatchPolicy, SchedulerContext, SchedulerHook};
 use crate::request::ActiveRequest;
@@ -44,9 +45,18 @@ pub struct Simulation {
     class_scv: Vec<f64>,
     /// Reusable dispatch-target buffer.
     target_buf: Vec<ComponentId>,
+    /// Reusable live-replica buffer (liveness-filtered dispatch groups).
+    live_buf: Vec<ComponentId>,
+    /// Per component: the other members of its replica groups (static —
+    /// the deployment layout never changes mid-run).
+    replica_peers: Vec<Vec<ComponentId>>,
     end_cap: SimTime,
     /// Time of the previous monitor tick (utilisation-window boundary).
     last_monitor_tick: SimTime,
+    /// Number of currently killed nodes (0 on the fault-free fast path).
+    down_nodes: usize,
+    /// Whether any kill has struck yet (fault-phase classification).
+    kills_seen: bool,
 }
 
 impl Simulation {
@@ -95,13 +105,19 @@ impl Simulation {
         let ground_truth = GroundTruth::new(config.topology.classes());
         let deployment = Deployment::new(&config.topology, config.deployment.replication);
         let mut comps = deployment.instantiate(&config.topology);
+        // Nodes a fault plan kills at t = 0 must not receive components:
+        // initial placement is liveness-aware like the scheduler hooks.
+        let initial_alive = config.faults.initial_alive(config.node_count);
         match config.placement {
             crate::config::PlacementStrategy::AntiAffine => {
-                placement::anti_affine(&mut comps, &deployment, config.node_count)
+                placement::anti_affine(&mut comps, &deployment, config.node_count, &initial_alive)
             }
-            crate::config::PlacementStrategy::CapacityAware => {
-                placement::capacity_aware(&mut comps, &deployment, &cluster.capacities())
-            }
+            crate::config::PlacementStrategy::CapacityAware => placement::capacity_aware(
+                &mut comps,
+                &deployment,
+                &cluster.capacities(),
+                &initial_alive,
+            ),
         }
         debug_assert!(placement::replicas_on_distinct_nodes(&deployment, &comps));
 
@@ -130,6 +146,19 @@ impl Simulation {
             .collect();
         let jobgen = config.jobgen.clone().map(BatchJobGenerator::new);
         let end_cap = SimTime::ZERO + config.horizon + config.drain_grace;
+        let mut replica_peers: Vec<Vec<ComponentId>> = vec![Vec::new(); m];
+        for stage in 0..deployment.stage_count() {
+            for p in 0..deployment.partition_count(stage as u32) {
+                let group = deployment.replicas(stage as u32, p as u32);
+                for &a in group {
+                    for &b in group {
+                        if a != b && !replica_peers[a.index()].contains(&b) {
+                            replica_peers[a.index()].push(b);
+                        }
+                    }
+                }
+            }
+        }
 
         let mut world = Simulation {
             queue: EventQueue::new(),
@@ -152,8 +181,12 @@ impl Simulation {
             class_own_demand,
             class_scv,
             target_buf: Vec::with_capacity(8),
+            live_buf: Vec::with_capacity(8),
+            replica_peers,
             end_cap,
             last_monitor_tick: SimTime::ZERO,
+            down_nodes: 0,
+            kills_seen: false,
             config,
             rng: SmallRng::seed_from_u64(0), // replaced below
         };
@@ -199,6 +232,19 @@ impl Simulation {
             self.queue
                 .schedule(SimTime::ZERO + self.config.warmup, Event::WarmupEnd);
         }
+        // Scheduled membership changes (an empty plan schedules nothing,
+        // leaving the event stream bit-identical to a fault-free build).
+        for fault in self.config.faults.events().to_vec() {
+            if fault.at <= self.end_cap {
+                self.queue.schedule(
+                    fault.at,
+                    Event::NodeFault {
+                        node: fault.node,
+                        kind: fault.kind,
+                    },
+                );
+            }
+        }
     }
 
     /// Runs the simulation to completion and returns the measured report.
@@ -210,6 +256,11 @@ impl Simulation {
             self.handle(event);
         }
         self.collectors.stats.requests_censored = self.requests.len() as u64;
+        let unresolved_orphans = self
+            .comps
+            .iter()
+            .filter(|c| c.orphaned_since.is_some())
+            .count() as u64;
         RunReport {
             technique: self.policy.name().to_string(),
             arrival_rate: self.config.arrival_rate,
@@ -218,13 +269,25 @@ impl Simulation {
             component_latency: self.collectors.component_latency.summary(),
             overall_latency: self.collectors.overall_latency.summary(),
             stats: self.collectors.stats,
+            faults: self.collectors.fault_report(unresolved_orphans),
+        }
+    }
+
+    /// Which fault window a latency recorded *now* belongs to.
+    fn fault_phase(&self) -> FaultPhase {
+        if self.down_nodes > 0 {
+            FaultPhase::During
+        } else if self.kills_seen {
+            FaultPhase::Post
+        } else {
+            FaultPhase::Pre
         }
     }
 
     fn handle(&mut self, event: Event) {
         match event {
             Event::RequestArrival => self.on_request_arrival(),
-            Event::ServiceCompletion { component } => self.on_completion(component),
+            Event::ServiceCompletion { component, epoch } => self.on_completion(component, epoch),
             Event::CancelArrival {
                 component,
                 request,
@@ -241,7 +304,15 @@ impl Simulation {
                 partition,
             } => self.on_reissue(request, stage, partition),
             Event::BatchArrival { node } => self.on_batch_arrival(node),
-            Event::BatchDeparture { node, job } => self.cluster.end_job(node, job),
+            Event::BatchDeparture { node, job } => {
+                // A node kill vaporises resident jobs while their
+                // departure events stay queued; only then may one miss.
+                let found = self.cluster.finish_job(node, job);
+                debug_assert!(
+                    found || !self.config.faults.is_empty(),
+                    "job {job} not resident on {node} in a fault-free run"
+                );
+            }
             Event::MonitorTick => self.on_monitor_tick(),
             Event::SchedulerTick => self.on_scheduler_tick(),
             Event::MigrationComplete { component, to } => self.on_migration_complete(component, to),
@@ -249,6 +320,7 @@ impl Simulation {
                 self.in_warmup = false;
                 self.collectors.reset_for_measurement();
             }
+            Event::NodeFault { node, kind } => self.on_node_fault(node, kind),
         }
     }
 
@@ -272,13 +344,36 @@ impl Simulation {
     }
 
     /// Initial dispatch of one partition's sub-request (fan-out chosen by
-    /// the policy; reissue timer armed if the policy wants one).
+    /// the policy; reissue timer armed if the policy wants one). Dead
+    /// replicas are invisible to the policy; a partition whose whole
+    /// replica group is down loses the request.
     fn dispatch_partition(&mut self, request: RequestId, stage: u32, partition: u32) {
         let now = self.queue.now();
-        let group = self.deployment.replicas(stage, partition);
+        // Liveness filter, paid only while nodes are down: the fault-free
+        // fast path hands the policy the deployment's group directly.
+        let filtered = self.down_nodes > 0;
+        let mut live = std::mem::take(&mut self.live_buf);
+        if filtered {
+            live.clear();
+            live.extend(
+                self.deployment
+                    .replicas(stage, partition)
+                    .iter()
+                    .copied()
+                    .filter(|c| self.cluster.is_alive(self.comps[c.index()].node)),
+            );
+            if live.is_empty() {
+                self.live_buf = live;
+                self.lose_request(request);
+                return;
+            }
+        }
         self.target_buf.clear();
+        let group = self.deployment.replicas(stage, partition);
+        let candidates: &[ComponentId] = if filtered { &live } else { group };
         self.policy
-            .initial_targets(group, &mut self.rng, &mut self.target_buf);
+            .initial_targets(candidates, &mut self.rng, &mut self.target_buf);
+        self.live_buf = live;
         debug_assert!(!self.target_buf.is_empty(), "policy must pick a target");
 
         if let Some(req) = self.requests.get_mut(&request.raw()) {
@@ -320,6 +415,10 @@ impl Simulation {
 
     fn enqueue_sub(&mut self, target: ComponentId, item: QueueItem) {
         let now = self.queue.now();
+        debug_assert!(
+            self.cluster.is_alive(self.comps[target.index()].node),
+            "a killed node must receive zero new work"
+        );
         self.rate_estimators[target.index()].record(now);
         let ci = target.index();
         if self.comps[ci].in_service.is_none() {
@@ -332,6 +431,10 @@ impl Simulation {
     fn begin_service(&mut self, ci: usize, item: QueueItem) {
         let now = self.queue.now();
         let node = self.comps[ci].node;
+        debug_assert!(
+            self.cluster.is_alive(node),
+            "a dead node's component must never begin service"
+        );
         let u = self.cluster.contention(node);
         let x = self
             .ground_truth
@@ -344,7 +447,10 @@ impl Simulation {
         let id = ComponentId::from_index(ci);
         self.queue.schedule(
             now + SimDuration::from_secs_f64(x),
-            Event::ServiceCompletion { component: id },
+            Event::ServiceCompletion {
+                component: id,
+                epoch: self.comps[ci].epoch,
+            },
         );
 
         // Redundancy cancellation: tell sibling replicas to drop their
@@ -371,9 +477,15 @@ impl Simulation {
         }
     }
 
-    fn on_completion(&mut self, component: ComponentId) {
+    fn on_completion(&mut self, component: ComponentId, epoch: u32) {
         let ci = component.index();
         let now = self.queue.now();
+        if epoch != self.comps[ci].epoch {
+            // The execution was vaporised by a node kill after this event
+            // was scheduled; its work item was already failed over or
+            // dropped.
+            return;
+        }
         let inflight = self.comps[ci]
             .in_service
             .take()
@@ -412,6 +524,12 @@ impl Simulation {
         let latency = now - item.enqueued_at;
         if !self.in_warmup {
             self.collectors.component_latency.record(latency);
+            // Fault-phase windows exist only when faults are planned, so
+            // a fault-free run's report stays pristine.
+            if !self.config.faults.is_empty() {
+                let phase = self.fault_phase();
+                self.collectors.phase_latency[phase as usize].record(latency);
+            }
         }
         let class = self.stage_class[item.stage as usize];
         self.policy.observe_latency(class, latency);
@@ -478,11 +596,19 @@ impl Simulation {
             return;
         }
         let group = self.deployment.replicas(stage, partition);
-        let Some(idx) = p.next_unused(group.len()) else {
-            return; // no unused replica left
+        // Claim unused replicas lowest-index first, skipping dead ones
+        // (a reissue to a killed backup would be lost on the wire).
+        let mut target = None;
+        while let Some(idx) = p.next_unused(group.len()) {
+            p.mark_used(idx);
+            if self.cluster.is_alive(self.comps[group[idx].index()].node) {
+                target = Some(group[idx]);
+                break;
+            }
+        }
+        let Some(target) = target else {
+            return; // no live unused replica left
         };
-        let target = group[idx];
-        p.mark_used(idx);
         self.collectors.stats.reissues += 1;
         let item = QueueItem {
             request,
@@ -493,16 +619,114 @@ impl Simulation {
         self.enqueue_sub(target, item);
     }
 
+    /// Drops a request that can no longer complete (a sub-request lost
+    /// its whole replica group, or the failover policy dropped its work).
+    /// Later responses for it count as wasted executions; stale reissue
+    /// timers and cancellations already tolerate missing requests.
+    fn lose_request(&mut self, request: RequestId) {
+        if self.requests.remove(&request.raw()).is_some() {
+            self.collectors.fault_stats.requests_lost += 1;
+        }
+    }
+
+    /// Handles one sub-request disrupted by a node kill, per the
+    /// configured [`FailoverPolicy`].
+    fn fail_over(&mut self, item: QueueItem) {
+        if !self.requests.contains_key(&item.request.raw()) {
+            return; // already completed or lost
+        }
+        match self.config.failover {
+            FailoverPolicy::Drop => self.lose_request(item.request),
+            FailoverPolicy::Failover => {
+                let target = self
+                    .deployment
+                    .replicas(item.stage, item.partition)
+                    .iter()
+                    .copied()
+                    .find(|c| self.cluster.is_alive(self.comps[c.index()].node));
+                match target {
+                    Some(target) => {
+                        self.collectors.fault_stats.failed_over += 1;
+                        // The item keeps its original enqueue time, so the
+                        // component-latency metric absorbs the disruption.
+                        self.enqueue_sub(target, item);
+                    }
+                    None => self.lose_request(item.request),
+                }
+            }
+        }
+    }
+
+    fn on_node_fault(&mut self, node: NodeId, kind: FaultKind) {
+        let now = self.queue.now();
+        match kind {
+            FaultKind::Kill => {
+                if !self.cluster.kill_node(node) {
+                    return; // already dead: idempotent
+                }
+                self.down_nodes += 1;
+                self.kills_seen = true;
+                self.collectors.fault_stats.kills += 1;
+                // Strand every hosted component: abort its execution (the
+                // pending completion event goes stale via the epoch), zero
+                // its demand bookkeeping, and collect its disrupted work.
+                let mut disrupted: Vec<QueueItem> = Vec::new();
+                for c in &mut self.comps {
+                    if c.node != node {
+                        continue;
+                    }
+                    if c.orphaned_since.is_none() {
+                        c.orphaned_since = Some(now);
+                        self.collectors.fault_stats.orphaned += 1;
+                    }
+                    c.epoch = c.epoch.wrapping_add(1);
+                    c.busy_accum = SimDuration::ZERO;
+                    c.utilization = 0.0;
+                    c.contribution = ResourceVector::ZERO;
+                    if let Some(inflight) = c.in_service.take() {
+                        disrupted.push(inflight.item);
+                    }
+                    disrupted.extend(c.queue.drain(..));
+                }
+                for item in disrupted {
+                    self.fail_over(item);
+                }
+            }
+            FaultKind::Restore => {
+                if !self.cluster.restore_node(node) {
+                    return; // already alive: idempotent
+                }
+                self.down_nodes -= 1;
+                self.collectors.fault_stats.restores += 1;
+                // Components still stranded here resume in place: the
+                // node's return re-places them without a migration.
+                for ci in 0..self.comps.len() {
+                    if self.comps[ci].node != node {
+                        continue;
+                    }
+                    if let Some(since) = self.comps[ci].orphaned_since.take() {
+                        self.collectors.fault_stats.restored_in_place += 1;
+                        self.collectors.record_evacuation(now - since);
+                    }
+                }
+            }
+        }
+    }
+
     // ---- environment ------------------------------------------------
 
     fn on_batch_arrival(&mut self, node: NodeId) {
         let now = self.queue.now();
         let Some(gen) = &self.jobgen else { return };
         let job = gen.next_job(&mut self.rng);
-        let id = self.cluster.start_job(node, job.demand);
-        self.collectors.stats.batch_jobs_started += 1;
-        self.queue
-            .schedule(now + job.duration, Event::BatchDeparture { node, job: id });
+        // A dead node runs no batch jobs, but its arrival process keeps
+        // ticking so churn resumes the moment it is restored.
+        if self.cluster.is_alive(node) {
+            let id = self.cluster.start_job(node, job.demand);
+            self.collectors.stats.batch_jobs_started += 1;
+            self.queue
+                .schedule(now + job.duration, Event::BatchDeparture { node, job: id });
+        }
         let next = now + gen.next_interarrival(&mut self.rng);
         if next <= self.end_cap {
             self.queue.schedule(next, Event::BatchArrival { node });
@@ -517,6 +741,12 @@ impl Simulation {
         if !window.is_zero() {
             let window_secs = window.as_secs_f64();
             for ci in 0..self.comps.len() {
+                // Stranded components serve nothing and register no
+                // demand; their state resumes updating once re-placed
+                // (or their node restored).
+                if self.down_nodes > 0 && !self.cluster.is_alive(self.comps[ci].node) {
+                    continue;
+                }
                 let mut busy = self.comps[ci].busy_accum;
                 if let Some(inflight) = self.comps[ci].in_service {
                     busy += now - inflight.started_at.max(self.last_monitor_tick);
@@ -573,6 +803,7 @@ impl Simulation {
             .collect();
         let demands = self.cluster.demands();
         let caps = self.cluster.capacities();
+        let status = self.cluster.statuses();
         let ctx = SchedulerContext {
             now,
             components: &metas,
@@ -582,6 +813,8 @@ impl Simulation {
             service_scv: &scvs,
             stage_count: self.deployment.stage_count(),
             ground_truth_demand: &demands,
+            node_status: &status,
+            replica_peers: &self.replica_peers,
         };
         let migrations = self.hook.on_interval(&ctx);
         for mr in migrations {
@@ -589,7 +822,17 @@ impl Simulation {
             if ci >= self.comps.len() || mr.to.index() >= self.cluster.len() {
                 continue; // ignore malformed orders
             }
+            if !self.cluster.is_alive(mr.to) {
+                continue; // never migrate onto a dead node
+            }
             if self.comps[ci].migrating_to.is_some() || self.comps[ci].node == mr.to {
+                continue;
+            }
+            if self.violates_anti_affinity(mr.component, mr.to) {
+                // Never co-locate two members of a replica group: hooks
+                // don't know the deployment layout, so the world enforces
+                // the invariant placement established (a no-op for
+                // replication-1 techniques, whose groups are singletons).
                 continue;
             }
             self.comps[ci].migrating_to = Some(mr.to);
@@ -608,10 +851,28 @@ impl Simulation {
         }
     }
 
+    /// True if migrating `component` to `to` would put two members of
+    /// any replica group on one node. In-flight migrations count by
+    /// their destination, so two same-tick orders cannot race into a
+    /// collision.
+    fn violates_anti_affinity(&self, component: ComponentId, to: NodeId) -> bool {
+        self.replica_peers[component.index()].iter().any(|&other| {
+            let oc = &self.comps[other.index()];
+            oc.migrating_to.unwrap_or(oc.node) == to
+        })
+    }
+
     fn on_migration_complete(&mut self, component: ComponentId, to: NodeId) {
         let ci = component.index();
         if self.comps[ci].migrating_to != Some(to) {
             return; // superseded
+        }
+        if !self.cluster.is_alive(to) {
+            // The destination died while the migration was in flight:
+            // abort, keeping the component where it is (the scheduler
+            // will re-order against live nodes next interval).
+            self.comps[ci].migrating_to = None;
+            return;
         }
         let contrib = self.comps[ci].contribution;
         let from = self.comps[ci].node;
@@ -619,6 +880,13 @@ impl Simulation {
         self.cluster.add_component_demand(to, contrib);
         self.comps[ci].node = to;
         self.comps[ci].migrating_to = None;
+        // Landing on a live node resolves an orphan: this migration *is*
+        // the evacuation the fault metrics measure.
+        if let Some(since) = self.comps[ci].orphaned_since.take() {
+            self.collectors.fault_stats.evacuated += 1;
+            let now = self.queue.now();
+            self.collectors.record_evacuation(now - since);
+        }
     }
 
     // ---- test/diagnostic accessors -----------------------------------
@@ -835,5 +1103,284 @@ mod tests {
         assert_ne!(before[1], NodeId::new(0));
         let report = sim.run();
         assert_eq!(report.stats.migrations, 1);
+    }
+
+    // ---- fault injection --------------------------------------------
+
+    use crate::faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan};
+
+    fn kill_at(node: usize, at_secs: f64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+            node: NodeId::from_index(node),
+            kind: FaultKind::Kill,
+        }
+    }
+
+    fn restore_at(node: usize, at_secs: f64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+            node: NodeId::from_index(node),
+            kind: FaultKind::Restore,
+        }
+    }
+
+    /// Basic dispatch over a 2-replica deployment: always the primary,
+    /// so the backup only ever serves failovers.
+    #[derive(Debug, Clone, Copy)]
+    struct PrimaryOnly;
+    impl DispatchPolicy for PrimaryOnly {
+        fn name(&self) -> &'static str {
+            "PrimaryOnly"
+        }
+        fn replication(&self) -> usize {
+            2
+        }
+        fn initial_targets(
+            &mut self,
+            replicas: &[ComponentId],
+            _rng: &mut SmallRng,
+            out: &mut Vec<ComponentId>,
+        ) {
+            out.push(replicas[0]);
+        }
+        fn reissue_delay(&mut self, _class: usize) -> Option<SimDuration> {
+            None
+        }
+        fn observe_latency(&mut self, _class: usize, _latency: SimDuration) {}
+        fn cancel_on_start(&self) -> bool {
+            false
+        }
+    }
+
+    /// A killed node must receive zero new work while down: its
+    /// components' execution counters freeze from the kill to the end of
+    /// the run (drive the event loop by hand to snapshot mid-run state).
+    #[test]
+    fn killed_node_receives_zero_new_work() {
+        let mut cfg = quiet_config(60.0, 31);
+        cfg.faults = FaultPlan::new(vec![kill_at(2, 4.0)]);
+        let mut sim = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(NoopScheduler));
+        let on_node_2: Vec<usize> = (0..sim.comps.len())
+            .filter(|&ci| sim.comps[ci].node == NodeId::new(2))
+            .collect();
+        assert!(!on_node_2.is_empty(), "node 2 must host components");
+        let mut at_kill: Option<Vec<u64>> = None;
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.end_cap {
+                break;
+            }
+            if at_kill.is_none() && t > SimTime::from_secs(4) {
+                at_kill = Some(
+                    on_node_2
+                        .iter()
+                        .map(|&ci| sim.comps[ci].executions)
+                        .collect(),
+                );
+            }
+            sim.handle(event);
+        }
+        let frozen: Vec<u64> = on_node_2
+            .iter()
+            .map(|&ci| sim.comps[ci].executions)
+            .collect();
+        assert_eq!(
+            at_kill.expect("the run outlives the kill"),
+            frozen,
+            "executions on the dead node must freeze at the kill"
+        );
+        for &ci in &on_node_2 {
+            assert!(sim.comps[ci].in_service.is_none());
+            assert!(sim.comps[ci].queue.is_empty());
+            assert!(sim.comps[ci].orphaned_since.is_some(), "still orphaned");
+        }
+    }
+
+    /// With a surviving replica, failover reroutes the dead node's work
+    /// and no request is lost; with `Drop`, the disrupted requests die.
+    #[test]
+    fn failover_reroutes_and_drop_loses() {
+        // Node 2 hosts exactly searcher partition 1 (nutch(4) on 6 nodes:
+        // component i sits on node i); its replica group is {c2, c3}.
+        // The rate is high enough that the kill catches in-flight work.
+        let mut base = quiet_config(700.0, 17);
+        base.faults = FaultPlan::new(vec![kill_at(2, 4.0)]);
+        base.deployment = DeploymentConfig { replication: 2 };
+
+        let failover =
+            Simulation::new(base.clone(), Box::new(PrimaryOnly), Box::new(NoopScheduler)).run();
+        assert_eq!(failover.faults.stats.kills, 1);
+        assert!(failover.faults.stats.orphaned >= 1);
+        assert_eq!(
+            failover.faults.stats.requests_lost, 0,
+            "a live replica absorbs the dead primary's work"
+        );
+        assert!(failover.faults.stats.failed_over > 0);
+        assert!(failover.stats.requests_completed > 200);
+
+        let mut drop_cfg = base;
+        drop_cfg.failover = FailoverPolicy::Drop;
+        let dropped =
+            Simulation::new(drop_cfg, Box::new(PrimaryOnly), Box::new(NoopScheduler)).run();
+        assert!(
+            dropped.faults.stats.requests_lost > 0,
+            "Drop must lose the disrupted requests"
+        );
+        assert_eq!(dropped.faults.stats.failed_over, 0);
+    }
+
+    /// Replication 1 and no scheduler: killing a searcher node makes its
+    /// partition unservable, so every subsequent request is lost until
+    /// the node returns — and the restore resolves the orphan in place.
+    #[test]
+    fn restore_resolves_orphans_in_place() {
+        let mut cfg = quiet_config(50.0, 23);
+        cfg.faults = FaultPlan::new(vec![kill_at(3, 4.0), restore_at(3, 6.0)]);
+        let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(NoopScheduler)).run();
+        assert_eq!(report.faults.stats.kills, 1);
+        assert_eq!(report.faults.stats.restores, 1);
+        assert_eq!(report.faults.stats.orphaned, 1);
+        assert_eq!(report.faults.stats.restored_in_place, 1);
+        assert_eq!(report.faults.stats.evacuated, 0);
+        assert_eq!(report.faults.unresolved_orphans, 0);
+        // Kill → restore took 2 s: that is the re-placement latency.
+        assert_eq!(report.faults.evacuation_ms(), Some(2000.0));
+        assert!(
+            report.faults.stats.requests_lost > 0,
+            "an unreplicated partition loses its requests while down"
+        );
+        // Traffic resumes after the restore: the post-fault window has
+        // completions again.
+        assert!(report.faults.post_fault.count > 0);
+        assert!(report.faults.pre_fault.count > 0);
+    }
+
+    /// Duplicate kills and restores are idempotent: effective transitions
+    /// are counted once and the liveness bookkeeping stays balanced.
+    #[test]
+    fn kill_and_restore_are_idempotent() {
+        let mut cfg = quiet_config(40.0, 29);
+        cfg.faults = FaultPlan::new(vec![
+            kill_at(1, 3.0),
+            kill_at(1, 3.5),
+            restore_at(1, 5.0),
+            restore_at(1, 5.5),
+        ]);
+        let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(NoopScheduler)).run();
+        assert_eq!(report.faults.stats.kills, 1, "second kill is a no-op");
+        assert_eq!(report.faults.stats.restores, 1, "second restore too");
+        assert_eq!(report.faults.stats.orphaned, 1);
+        assert_eq!(report.faults.unresolved_orphans, 0);
+        assert!(report.faults.post_fault.count > 0, "the node came back");
+    }
+
+    /// A hook that evacuates one stranded component per interval onto
+    /// node 0 — the minimal liveness-aware scheduler.
+    struct Evacuator;
+    impl SchedulerHook for Evacuator {
+        fn on_interval(
+            &mut self,
+            ctx: &SchedulerContext<'_>,
+        ) -> Vec<crate::policy::MigrationRequest> {
+            for c in ctx.components {
+                if !ctx.node_status[c.node.index()].is_up() && !c.migrating {
+                    return vec![crate::policy::MigrationRequest {
+                        component: c.id,
+                        to: NodeId::new(0),
+                    }];
+                }
+            }
+            Vec::new()
+        }
+    }
+
+    /// Migrating a stranded component off a dead node counts as an
+    /// evacuation, with the kill→re-placement latency measured.
+    #[test]
+    fn evacuation_metrics_track_migrations_off_dead_nodes() {
+        let mut cfg = quiet_config(50.0, 37);
+        cfg.warmup = SimDuration::from_millis(1500);
+        cfg.faults = FaultPlan::new(vec![kill_at(3, 4.1)]);
+        let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(Evacuator)).run();
+        assert_eq!(report.faults.stats.orphaned, 1);
+        assert_eq!(report.faults.stats.evacuated, 1);
+        assert_eq!(report.faults.unresolved_orphans, 0);
+        let evac = report.faults.evacuation_ms().expect("evacuation completed");
+        // Kill at 4.1 s; scheduler ticks every 2 s, so the order lands at
+        // 6 s and completes after the 250 ms migration latency.
+        assert!(
+            (evac - 2150.0).abs() < 1.0,
+            "evacuation latency {evac} ms, expected ~2150 ms"
+        );
+        // Requests flow again once the partition is re-placed.
+        assert!(report.faults.post_fault.count == 0, "node never restored");
+        assert!(report.faults.during_fault.count > 0);
+    }
+
+    /// A hook that tries to pile every component onto node 0.
+    struct PileUp;
+    impl SchedulerHook for PileUp {
+        fn on_interval(
+            &mut self,
+            ctx: &SchedulerContext<'_>,
+        ) -> Vec<crate::policy::MigrationRequest> {
+            ctx.components
+                .iter()
+                .filter(|c| !c.migrating && c.node != NodeId::new(0))
+                .map(|c| crate::policy::MigrationRequest {
+                    component: c.id,
+                    to: NodeId::new(0),
+                })
+                .collect()
+        }
+    }
+
+    /// Migrations that would co-locate two members of one replica group
+    /// are rejected by the world: under replication 2 a pile-everything-
+    /// onto-node-0 hook must leave every group on distinct nodes.
+    #[test]
+    fn migrations_never_colocate_replica_group_members() {
+        let mut cfg = quiet_config(30.0, 41);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        // Keep the warm-up boundary away from the first scheduler tick so
+        // the migration counter is not reset in the same event batch.
+        cfg.warmup = SimDuration::from_millis(1500);
+        let sim = Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(PileUp));
+        let deployment = sim.deployment.clone();
+        let report = sim.run();
+        assert!(
+            report.stats.migrations > 0,
+            "non-conflicting moves must still be accepted"
+        );
+        // Re-run to inspect the final placement (run() consumes self).
+        let mut cfg = quiet_config(30.0, 41);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        let mut sim = Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(PileUp));
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.end_cap {
+                break;
+            }
+            sim.handle(event);
+        }
+        assert!(
+            placement::replicas_on_distinct_nodes(&deployment, &sim.comps),
+            "anti-affinity must survive scheduler-driven migrations"
+        );
+    }
+
+    /// An empty fault plan leaves the run bit-identical to the fault-free
+    /// build (the opt-in guarantee the existing scenarios rely on).
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let baseline = run_basic(quiet_config(50.0, 11));
+        let mut cfg = quiet_config(50.0, 11);
+        cfg.faults = FaultPlan::none();
+        let with_empty_plan = run_basic(cfg);
+        assert_eq!(baseline.stats, with_empty_plan.stats);
+        assert_eq!(baseline.faults, with_empty_plan.faults);
+        assert!(
+            (baseline.overall_latency.mean - with_empty_plan.overall_latency.mean).abs() < 1e-15
+        );
+        assert_eq!(baseline.faults, crate::metrics::FaultReport::default());
     }
 }

@@ -146,17 +146,35 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--repeats" => {
-                params.repeats = Some(
-                    value("--repeats")?
-                        .parse()
-                        .map_err(|e| format!("--repeats: {e}"))?,
-                )
+                let repeats: usize = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if repeats == 0 {
+                    return Err(
+                        "--repeats: must be at least 1 (0 repeats would produce an empty report)"
+                            .to_string(),
+                    );
+                }
+                params.repeats = Some(repeats);
             }
             "--rates" => {
                 let list = value("--rates")?;
+                if list.trim().is_empty() {
+                    return Err(
+                        "--rates: expected a comma-separated list of at least one rate, got an \
+                         empty list"
+                            .to_string(),
+                    );
+                }
                 let rates: Result<Vec<f64>, _> =
                     list.split(',').map(|r| r.trim().parse::<f64>()).collect();
-                params.rates = Some(rates.map_err(|e| format!("--rates: {e}"))?);
+                let rates = rates.map_err(|e| format!("--rates: {e}"))?;
+                if let Some(bad) = rates.iter().find(|r| !r.is_finite() || **r <= 0.0) {
+                    return Err(format!(
+                        "--rates: rates must be finite and positive, got {bad}"
+                    ));
+                }
+                params.rates = Some(rates);
             }
             "--techniques" => {
                 let list = value("--techniques")?;

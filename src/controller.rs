@@ -10,15 +10,29 @@
 //! like the real system would.
 
 use pcs_core::{
-    ClassModelSet, ComponentInput, ComponentScheduler, MatrixConfig, MatrixInputs, NodeInput,
-    PerformanceMatrix, ScheduleOutcome, SchedulerConfig, ThresholdPolicy,
+    ClassModelSet, ComponentInput, ComponentScheduler, MatrixConfig, MatrixInputs,
+    MigrationDecision, NodeInput, PerformanceMatrix, ScheduleOutcome, SchedulerConfig,
+    ThresholdPolicy,
 };
 use pcs_monitor::SamplerConfig;
 use pcs_regression::TrainingConfig;
 use pcs_sim::profiler::profile_class;
 use pcs_sim::{MigrationRequest, SchedulerContext, SchedulerHook};
-use pcs_types::{ContentionVector, NodeCapacity, PcsError, ResourceVector};
+use pcs_types::{ContentionVector, NodeCapacity, NodeId, PcsError, ResourceVector};
 use pcs_workloads::{BatchWorkload, JobSpec, ServiceTopology};
+
+/// The contention attributed to a dead node when building matrix inputs:
+/// far beyond any trained operating point, so every prediction there
+/// saturates at the model's worst case. Components stranded on a dead
+/// node look maximally slow (evacuating them has maximal gain) and dead
+/// destinations look maximally unattractive — liveness-awareness falls
+/// out of the same Eq. 1/Eq. 2 machinery that handles overload.
+const DEAD_NODE_CONTENTION: ContentionVector = ContentionVector {
+    core_usage: 16.0,
+    cache_mpki: 400.0,
+    disk_util: 16.0,
+    net_util: 16.0,
+};
 
 /// The PCS scheduling framework: monitors → predictor → matrix → greedy
 /// migrations.
@@ -157,7 +171,14 @@ impl PcsController {
         let mut nodes = Vec::with_capacity(k);
         for j in 0..k {
             let window = &ctx.sampled_windows[j];
-            let demand = if self.ground_truth {
+            // Dead nodes get a saturated demand regardless of monitoring
+            // mode (the ground truth of a dead node reads near-idle — its
+            // jobs vanished — which is exactly the wrong signal to hand a
+            // placement algorithm). `last_node_demand` keeps the final
+            // live estimate so a restored node re-enters smoothly.
+            let demand = if !ctx.node_status[j].is_up() {
+                ctx.node_capacities[j].denormalize(&DEAD_NODE_CONTENTION)
+            } else if self.ground_truth {
                 ctx.ground_truth_demand[j]
             } else if window.is_empty() {
                 self.last_node_demand[j]
@@ -169,7 +190,9 @@ impl PcsController {
                 let mean = mean.scaled(1.0 / window.len() as f64);
                 ctx.node_capacities[j].denormalize(&mean)
             };
-            self.last_node_demand[j] = demand;
+            if ctx.node_status[j].is_up() {
+                self.last_node_demand[j] = demand;
+            }
             nodes.push(NodeInput {
                 id: pcs_types::NodeId::from_index(j),
                 capacity: ctx.node_capacities[j],
@@ -201,8 +224,12 @@ impl PcsController {
 
 impl SchedulerHook for PcsController {
     fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
-        // Nothing monitored yet (first tick on a quiet cluster): wait.
-        if ctx.sampled_windows.iter().all(|w| w.is_empty()) {
+        // Nothing monitored yet (first tick on a quiet cluster): wait —
+        // unless a node is already down, in which case the evacuation
+        // pass below must run even on cold monitors.
+        if ctx.sampled_windows.iter().all(|w| w.is_empty())
+            && ctx.node_status.iter().all(|s| s.is_up())
+        {
             return Vec::new();
         }
         let inputs = self.build_inputs(ctx);
@@ -227,7 +254,60 @@ impl SchedulerHook for PcsController {
         if let Some(policy) = self.threshold {
             config.epsilon_secs = policy.resolve(matrix.overall_latency());
         }
-        let outcome = ComponentScheduler::new(config).run(&mut matrix);
+
+        // Evacuation pass: components stranded on dead nodes leave first,
+        // before the latency-optimising greedy. The greedy alone cannot
+        // be trusted with them — with two orphans in one parallel stage,
+        // moving either leaves the stage max at the other's saturated
+        // latency, so every single move shows ~zero *overall* gain and
+        // Algorithm 1 would strand both. Each orphan instead goes to the
+        // live node with the best predicted latency for it (the matrix's
+        // self-gain column), applied through the same incremental update
+        // so later placements see earlier ones; the moves consume the
+        // interval's migration budget.
+        let mut candidates = vec![true; ctx.components.len()];
+        let mut evacuations: Vec<MigrationDecision> = Vec::new();
+        for meta in ctx.components {
+            if ctx.node_status[meta.node.index()].is_up() || meta.migrating {
+                continue;
+            }
+            if let Some(cap) = config.max_migrations {
+                if evacuations.len() >= cap {
+                    break;
+                }
+            }
+            let i = meta.id;
+            // Only destinations the world will accept: live and not
+            // hosting one of the orphan's replica-group peers (a
+            // rejected order would be retried fruitlessly forever).
+            let mut best: Option<(f64, NodeId)> = None;
+            for j in 0..ctx.node_capacities.len() {
+                if !ctx.legal_destination(i, j) {
+                    continue;
+                }
+                let dest = NodeId::from_index(j);
+                let self_gain = matrix.self_gain(i, dest);
+                if best.is_none_or(|(s, _)| self_gain > s) {
+                    best = Some((self_gain, dest));
+                }
+            }
+            let Some((_, dest)) = best else { continue }; // nowhere legal for this orphan
+            candidates[i.index()] = false;
+            let gain = matrix.gain(i, dest);
+            let self_gain = matrix.self_gain(i, dest);
+            let from = matrix.apply_migration(i, dest, &candidates);
+            evacuations.push(MigrationDecision {
+                component: i,
+                from,
+                to: dest,
+                predicted_gain: gain,
+                predicted_self_gain: self_gain,
+            });
+        }
+
+        let mut outcome =
+            ComponentScheduler::new(config).run_masked(&mut matrix, candidates, evacuations.len());
+        outcome.decisions.splice(0..0, evacuations);
         let migrations = outcome
             .decisions
             .iter()
@@ -343,6 +423,101 @@ mod tests {
         assert!(
             busy > idle * 1.2,
             "trained model must see contention: idle {idle}, busy {busy}"
+        );
+    }
+
+    #[test]
+    fn controller_evacuates_every_orphan_in_one_interval() {
+        use pcs_sim::{FaultEvent, FaultKind, FaultPlan};
+        use pcs_types::{NodeId, SimTime};
+        let topology = ServiceTopology::nutch(8);
+        let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 5).unwrap();
+        let controller = PcsController::new(
+            models,
+            pcs_core::SchedulerConfig {
+                epsilon_secs: 0.00005,
+                max_migrations: None,
+                full_rebuild: false,
+            },
+            MatrixConfig::default(),
+        );
+        // 5 nodes for 10 components: anti-affine round-robin puts two
+        // components on every node, so the kill strands a *pair* — the
+        // exact case the greedy alone cannot evacuate (both in one stage
+        // means every single move has ~zero overall gain).
+        let mut config = SimConfig::paper_like(topology, 100.0, 21);
+        config.node_count = 5;
+        config.horizon = SimDuration::from_secs(20);
+        config.warmup = SimDuration::from_secs(4);
+        config.scheduler_interval = SimDuration::from_secs(2);
+        config.faults = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_secs(7),
+            node: NodeId::new(2),
+            kind: FaultKind::Kill,
+        }]);
+        let report =
+            Simulation::new(config, Box::new(pcs_sim::BasicPolicy), Box::new(controller)).run();
+        assert_eq!(report.faults.stats.orphaned, 2);
+        assert_eq!(
+            report.faults.stats.evacuated, 2,
+            "the evacuation pass must re-place both stranded components"
+        );
+        assert_eq!(report.faults.unresolved_orphans, 0);
+        // Kill at 7 s, next interval at 8 s, migration takes 250 ms: both
+        // orphans land in the same interval, so the worst evacuation
+        // latency stays well under two intervals.
+        let evac = report.faults.evacuation_ms().expect("evacuation done");
+        assert!(
+            evac < 2000.0,
+            "batched evacuation must finish within one interval, got {evac} ms"
+        );
+    }
+
+    /// The hybrid case: replication 2 with the predictive controller.
+    /// Evacuations must both resolve every orphan and keep replica
+    /// groups on distinct nodes (the peer-blind version of the
+    /// evacuation pass could order a co-locating move every interval,
+    /// have the world reject it, and strand the orphan forever).
+    #[test]
+    fn controller_evacuates_replicated_deployments_without_colocating() {
+        use pcs_baselines::RedundancyPolicy;
+        use pcs_sim::{DeploymentConfig, FaultEvent, FaultKind, FaultPlan};
+        use pcs_types::{NodeId, SimTime};
+        let topology = ServiceTopology::nutch(8);
+        let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 5).unwrap();
+        let controller = PcsController::new(
+            models,
+            pcs_core::SchedulerConfig {
+                epsilon_secs: 0.00005,
+                max_migrations: None,
+                full_rebuild: false,
+            },
+            MatrixConfig::default(),
+        );
+        let mut config = SimConfig::paper_like(topology, 100.0, 33);
+        config.node_count = 5;
+        config.deployment = DeploymentConfig { replication: 2 };
+        config.horizon = SimDuration::from_secs(20);
+        config.warmup = SimDuration::from_secs(4);
+        config.faults = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_secs(7),
+            node: NodeId::new(1),
+            kind: FaultKind::Kill,
+        }]);
+        let report = Simulation::new(
+            config,
+            Box::new(RedundancyPolicy::new(2)),
+            Box::new(controller),
+        )
+        .run();
+        assert!(report.faults.stats.orphaned >= 2);
+        assert_eq!(
+            report.faults.unresolved_orphans, 0,
+            "peer-aware evacuation must re-place every orphan"
+        );
+        assert_eq!(
+            report.faults.stats.evacuated, report.faults.stats.orphaned,
+            "no orphan may wait for a restore that never comes"
         );
     }
 

@@ -285,6 +285,7 @@ mod tests {
                     max: mean,
                 },
                 stats: TechniqueStats::default(),
+                faults: Default::default(),
             },
             technique,
             rate: 100.0,

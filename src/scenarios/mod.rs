@@ -23,6 +23,7 @@
 //! | `diurnal` | techniques under sinusoidally modulated load |
 //! | `hetero` | techniques on a mixed-capacity cluster |
 //! | `mmpp` | techniques under bursty Markov-modulated arrivals |
+//! | `failures` | techniques under node kill/restore faults |
 //!
 //! The comparison scenarios sweep the open technique registry
 //! ([`crate::techniques`]); `--techniques <list>` overrides any of their
@@ -30,6 +31,7 @@
 
 pub mod ablations;
 pub mod extended;
+pub mod failures;
 pub mod figures;
 
 use crate::controller::PcsController;
@@ -56,6 +58,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(extended::DiurnalScenario),
         Box::new(extended::HeteroScenario),
         Box::new(extended::MmppScenario),
+        Box::new(failures::FailuresScenario),
     ]
 }
 
@@ -214,7 +217,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
@@ -233,7 +236,7 @@ mod tests {
             .collect();
         assert_eq!(
             selectable,
-            vec!["fig6", "headline", "diurnal", "hetero", "mmpp"]
+            vec!["fig6", "headline", "diurnal", "hetero", "mmpp", "failures"]
         );
     }
 

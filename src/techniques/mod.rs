@@ -15,6 +15,8 @@
 //! | `red-<k>` | request redundancy, k parallel replicas (paper: 3, 5) |
 //! | `ri-<p>` | request reissue at the p-th latency percentile (paper: 90, 99) |
 //! | `pcs` | predictive component-level scheduling (this paper) |
+//! | `pcs+red<k>` | predictive migration under RED-k redundancy (hybrid) |
+//! | `pcs-b<n>` | budgeted PCS: ≤ n migrations per interval |
 //! | `ll` | least-loaded reactive migration — no prediction |
 //! | `oracle` | PCS fed the simulator's exact node demand (upper bound) |
 //! | `cap` | capacity-aware initial placement, no runtime scheduling |
@@ -26,11 +28,13 @@
 
 mod builtin;
 mod capacity;
+mod hybrid;
 mod oracle;
 mod reactive;
 
 pub use builtin::{minimal_percent, BasicSpec, PcsSpec, RedSpec, RiSpec};
 pub use capacity::CapacityAwareSpec;
+pub use hybrid::{BudgetedPcsSpec, HybridRedSpec, MAX_MIGRATION_BUDGET};
 pub use oracle::OracleSpec;
 pub use reactive::{LeastLoadedHook, LeastLoadedSpec};
 
@@ -113,6 +117,22 @@ pub fn pcs() -> TechniqueRef {
     Arc::new(PcsSpec)
 }
 
+/// `PCS+RED<k>`: predictive migration under RED-k redundancy.
+///
+/// # Panics
+/// Panics unless `2 <= k <= 8`.
+pub fn pcs_red(k: usize) -> TechniqueRef {
+    Arc::new(HybridRedSpec::new(k))
+}
+
+/// `PCS-B<n>`: PCS capped at `n` migrations per scheduling interval.
+///
+/// # Panics
+/// Panics unless `1 <= n <= MAX_MIGRATION_BUDGET`.
+pub fn pcs_budgeted(n: usize) -> TechniqueRef {
+    Arc::new(BudgetedPcsSpec::new(n))
+}
+
 /// `LL`: least-loaded reactive migration — no prediction.
 pub fn ll() -> TechniqueRef {
     Arc::new(LeastLoadedSpec)
@@ -139,6 +159,8 @@ pub fn registry() -> Vec<TechniqueRef> {
         ri(90.0),
         ri(99.0),
         pcs(),
+        pcs_red(2),
+        pcs_budgeted(1),
         ll(),
         oracle(),
         cap(),
@@ -190,7 +212,8 @@ impl fmt::Display for TechniqueParseError {
         write!(
             f,
             "unknown technique `{}`: {}; valid techniques: basic, red-<k> (2..=8), \
-             ri-<p> (percentile in (0,100), e.g. ri-99.5), pcs, ll, oracle, cap",
+             ri-<p> (percentile in (0,100), e.g. ri-99.5), pcs, pcs+red<k> (2..=8), \
+             pcs-b<n> (1..=64), ll, oracle, cap",
             self.token, self.reason
         )
     }
@@ -222,6 +245,27 @@ pub fn parse(name: &str) -> Result<TechniqueRef, TechniqueParseError> {
         "oracle" => return Ok(oracle()),
         "cap" => return Ok(cap()),
         _ => {}
+    }
+    if let Some(k) = lower.strip_prefix("pcs+red") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| err(token, "the replica count after `pcs+red` is not an integer"))?;
+        if !(2..=8).contains(&k) {
+            return Err(err(token, "hybrid replica count must be in 2..=8"));
+        }
+        return Ok(pcs_red(k));
+    }
+    if let Some(n) = lower.strip_prefix("pcs-b") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| err(token, "the budget after `pcs-b` is not an integer"))?;
+        if !(1..=MAX_MIGRATION_BUDGET).contains(&n) {
+            return Err(err(
+                token,
+                format!("migration budget must be in 1..={MAX_MIGRATION_BUDGET}"),
+            ));
+        }
+        return Ok(pcs_budgeted(n));
     }
     if let Some(k) = lower.strip_prefix("red-") {
         let k: usize = k
@@ -336,15 +380,43 @@ mod tests {
         let e = parse("warp-drive").unwrap_err();
         let message = e.to_string();
         assert!(message.contains("warp-drive"), "{message}");
-        for valid in ["basic", "red-<k>", "ri-<p>", "pcs", "ll", "oracle", "cap"] {
+        for valid in [
+            "basic",
+            "red-<k>",
+            "ri-<p>",
+            "pcs",
+            "pcs+red<k>",
+            "pcs-b<n>",
+            "ll",
+            "oracle",
+            "cap",
+        ] {
             assert!(message.contains(valid), "{message} must list {valid}");
         }
         assert!(parse("red-1").is_err(), "k = 1 is just basic");
         assert!(parse("red-9").is_err(), "beyond the simulator's group cap");
         assert!(parse("ri-0").is_err());
         assert!(parse("ri-100").is_err());
+        assert!(parse("pcs+red1").is_err(), "hybrid k = 1 is just pcs");
+        assert!(parse("pcs+red9").is_err());
+        assert!(parse("pcs-b0").is_err(), "budget 0 would never migrate");
+        assert!(parse("pcs-b65").is_err(), "beyond the budget cap");
         assert!(parse_list("pcs,,basic").is_err());
         assert!(parse_list("").is_err());
+    }
+
+    #[test]
+    fn hybrid_and_budgeted_parse_and_round_trip() {
+        assert_eq!(parse("pcs+red2").unwrap().name(), "PCS+RED2");
+        assert_eq!(parse("PCS+RED3").unwrap().name(), "PCS+RED3");
+        assert_eq!(parse("pcs-b1").unwrap().name(), "PCS-B1");
+        assert_eq!(parse("Pcs-B16").unwrap().name(), "PCS-B16");
+        assert_eq!(parse("pcs+red2").unwrap().replication(), 2);
+        assert_eq!(parse("pcs-b4").unwrap().replication(), 1);
+        // Neither is a redundancy/reissue baseline: the §VI-C headline
+        // mean must not absorb PCS variants.
+        assert!(!is_redundancy_or_reissue("PCS+RED2"));
+        assert!(!is_redundancy_or_reissue("PCS-B1"));
     }
 
     #[test]

@@ -14,6 +14,9 @@ use super::{TechniqueEnv, TechniqueSpec};
 use pcs_sim::{BasicPolicy, DispatchPolicy, MigrationRequest, SchedulerContext, SchedulerHook};
 use pcs_types::NodeId;
 
+#[cfg(test)]
+use pcs_sim::NodeStatus;
+
 /// Minimum hottest-minus-coolest load gap (in summed utilisation
 /// fractions) before LL bothers migrating; below it the cluster is
 /// considered balanced and a move would be churn.
@@ -45,10 +48,6 @@ impl SchedulerHook for LeastLoadedHook {
         if k < 2 {
             return Vec::new();
         }
-        // Nothing monitored yet: wait, like the PCS controller does.
-        if ctx.sampled_windows.iter().all(|w| w.is_empty()) {
-            return Vec::new();
-        }
         if self.last_load.len() != k {
             self.last_load = vec![0.0; k];
         }
@@ -57,10 +56,48 @@ impl SchedulerHook for LeastLoadedHook {
                 self.last_load[j] = window_load(window);
             }
         }
-        // The source is the hottest node that actually hosts a movable
-        // component (batch-only nodes have nothing to evacuate); the
-        // destination is the coolest node overall. Ties break towards the
-        // lower node index: deterministic.
+
+        // Liveness first: a component stranded on a dead node outranks
+        // any load-balancing move. True to LL's reactive one-step nature
+        // it evacuates a single component per interval (the lowest id),
+        // onto the coolest *live* node — so a dead node drains one
+        // scheduling interval at a time, which is exactly the gap the
+        // predictive controller's batched evacuation closes.
+        if ctx.node_status.iter().any(|s| !s.is_up()) {
+            let stranded = ctx
+                .components
+                .iter()
+                .find(|m| !ctx.node_status[m.node.index()].is_up() && !m.migrating);
+            if let Some(meta) = stranded {
+                // Only destinations the world will accept: live and not
+                // hosting one of the orphan's replica-group peers.
+                let mut dest: Option<usize> = None;
+                for j in 0..k {
+                    if !ctx.legal_destination(meta.id, j) {
+                        continue;
+                    }
+                    if dest.is_none_or(|d| self.last_load[j] < self.last_load[d]) {
+                        dest = Some(j);
+                    }
+                }
+                return match dest {
+                    Some(j) => vec![MigrationRequest {
+                        component: meta.id,
+                        to: NodeId::from_index(j),
+                    }],
+                    None => Vec::new(), // nowhere live to go
+                };
+            }
+        }
+
+        // Nothing monitored yet: wait, like the PCS controller does.
+        if ctx.sampled_windows.iter().all(|w| w.is_empty()) {
+            return Vec::new();
+        }
+        // The source is the hottest live node that actually hosts a
+        // movable component (batch-only nodes have nothing to evacuate);
+        // the destination is the coolest live node overall. Ties break
+        // towards the lower node index: deterministic.
         let mut evacuable = vec![false; k];
         for meta in ctx.components {
             if !meta.migrating {
@@ -68,16 +105,19 @@ impl SchedulerHook for LeastLoadedHook {
             }
         }
         let mut hottest: Option<usize> = None;
-        let mut coolest = 0usize;
+        let mut coolest: Option<usize> = None;
         for (j, &can_evacuate) in evacuable.iter().enumerate() {
+            if !ctx.node_status[j].is_up() {
+                continue;
+            }
             if can_evacuate && hottest.is_none_or(|h| self.last_load[j] > self.last_load[h]) {
                 hottest = Some(j);
             }
-            if self.last_load[j] < self.last_load[coolest] {
-                coolest = j;
+            if coolest.is_none_or(|c| self.last_load[j] < self.last_load[c]) {
+                coolest = Some(j);
             }
         }
-        let Some(hottest) = hottest else {
+        let (Some(hottest), Some(coolest)) = (hottest, coolest) else {
             return Vec::new();
         };
         if self.last_load[hottest] - self.last_load[coolest] < LOAD_MARGIN {
@@ -150,11 +190,23 @@ mod tests {
         }
     }
 
+    const ALL_UP: [NodeStatus; 8] = [NodeStatus::Up; 8];
+
     fn ctx_with<'a>(
         components: &'a [ComponentMeta],
         caps: &'a [NodeCapacity],
         windows: &'a [Vec<ContentionVector>],
         demand: &'a [ResourceVector],
+    ) -> SchedulerContext<'a> {
+        ctx_with_status(components, caps, windows, demand, &ALL_UP[..caps.len()])
+    }
+
+    fn ctx_with_status<'a>(
+        components: &'a [ComponentMeta],
+        caps: &'a [NodeCapacity],
+        windows: &'a [Vec<ContentionVector>],
+        demand: &'a [ResourceVector],
+        status: &'a [NodeStatus],
     ) -> SchedulerContext<'a> {
         SchedulerContext {
             now: SimTime::ZERO,
@@ -165,6 +217,8 @@ mod tests {
             service_scv: &[],
             stage_count: 1,
             ground_truth_demand: demand,
+            node_status: status,
+            replica_peers: &[],
         }
     }
 
@@ -233,6 +287,111 @@ mod tests {
         assert!(hook
             .on_interval(&ctx_with(&comps, &caps, &even, &demand))
             .is_empty());
+    }
+
+    #[test]
+    fn stranded_components_evacuate_one_per_interval_to_live_nodes() {
+        let caps = [NodeCapacity::XEON_E5645; 3];
+        // Components 0 and 1 stranded on dead node 1; node 2 is cool but
+        // DEAD too, so the only legal destination is node 0.
+        let comps = [meta(0, 1, 1.0), meta(1, 1, 2.0), meta(2, 0, 1.0)];
+        let windows = [
+            vec![ContentionVector::new(0.8, 0.0, 0.3, 0.2)],
+            vec![],
+            vec![ContentionVector::new(0.0, 0.0, 0.0, 0.0)],
+        ];
+        let status = [NodeStatus::Up, NodeStatus::Down, NodeStatus::Down];
+        let demand = [ResourceVector::ZERO; 3];
+        let mut hook = LeastLoadedHook::default();
+        let orders = hook.on_interval(&ctx_with_status(&comps, &caps, &windows, &demand, &status));
+        assert_eq!(
+            orders,
+            vec![MigrationRequest {
+                component: ComponentId::new(0),
+                to: NodeId::from_index(0),
+            }],
+            "one stranded component per interval, lowest id first, live destination only"
+        );
+    }
+
+    #[test]
+    fn evacuation_skips_nodes_hosting_a_replica_peer() {
+        // Component 0 is stranded on dead node 2; its replica peer
+        // (component 1) sits on node 0, the coolest node. The evacuation
+        // must go to node 1 instead — the world would reject a move that
+        // co-locates the pair.
+        let caps = [NodeCapacity::XEON_E5645; 3];
+        let comps = [meta(0, 2, 1.0), meta(1, 0, 1.0)];
+        let windows = [
+            vec![ContentionVector::new(0.1, 0.0, 0.0, 0.0)],
+            vec![ContentionVector::new(0.6, 0.0, 0.2, 0.1)],
+            vec![],
+        ];
+        let status = [NodeStatus::Up, NodeStatus::Up, NodeStatus::Down];
+        let demand = [ResourceVector::ZERO; 3];
+        let peers: Vec<Vec<ComponentId>> =
+            vec![vec![ComponentId::new(1)], vec![ComponentId::new(0)]];
+        let ctx = SchedulerContext {
+            now: SimTime::ZERO,
+            components: &comps,
+            node_capacities: &caps,
+            sampled_windows: &windows,
+            arrival_rates: &[],
+            service_scv: &[],
+            stage_count: 1,
+            ground_truth_demand: &demand,
+            node_status: &status,
+            replica_peers: &peers,
+        };
+        let mut hook = LeastLoadedHook::default();
+        assert_eq!(
+            hook.on_interval(&ctx),
+            vec![MigrationRequest {
+                component: ComponentId::new(0),
+                to: NodeId::from_index(1),
+            }],
+            "the cool node hosting the peer is skipped"
+        );
+    }
+
+    #[test]
+    fn no_live_destination_means_no_orders() {
+        let caps = [NodeCapacity::XEON_E5645; 2];
+        let comps = [meta(0, 0, 1.0)];
+        let windows = [vec![], vec![]];
+        let status = [NodeStatus::Down, NodeStatus::Down];
+        let demand = [ResourceVector::ZERO; 2];
+        let mut hook = LeastLoadedHook::default();
+        assert!(hook
+            .on_interval(&ctx_with_status(&comps, &caps, &windows, &demand, &status))
+            .is_empty());
+    }
+
+    #[test]
+    fn load_balancing_ignores_dead_nodes_entirely() {
+        // Node 2 is dead and reads as stone cold; the balancing path must
+        // not pick it as the coolest destination. No component is
+        // stranded (all live on nodes 0/1), so this exercises the normal
+        // path with a dead node present.
+        let caps = [NodeCapacity::XEON_E5645; 3];
+        let comps = [meta(0, 0, 2.0), meta(1, 1, 1.0)];
+        let windows = [
+            vec![ContentionVector::new(0.9, 0.0, 0.4, 0.2)],
+            vec![ContentionVector::new(0.1, 0.0, 0.0, 0.0)],
+            vec![],
+        ];
+        let status = [NodeStatus::Up, NodeStatus::Up, NodeStatus::Down];
+        let demand = [ResourceVector::ZERO; 3];
+        let mut hook = LeastLoadedHook::default();
+        let orders = hook.on_interval(&ctx_with_status(&comps, &caps, &windows, &demand, &status));
+        assert_eq!(
+            orders,
+            vec![MigrationRequest {
+                component: ComponentId::new(0),
+                to: NodeId::from_index(1),
+            }],
+            "the coolest *live* node wins even when a dead node reads colder"
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! CLI input validation: malformed grids are rejected up front with a
+//! clear error instead of silently producing an empty (or crashing)
+//! sweep. Drives the real `pcs` binary via `CARGO_BIN_EXE_pcs`.
+
+use std::process::{Command, Output};
+
+fn pcs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pcs"))
+        .args(args)
+        .output()
+        .expect("pcs binary runs")
+}
+
+fn rejected_with(args: &[&str], needle: &str) {
+    let out = pcs(args);
+    assert!(!out.status.success(), "`pcs {}` must fail", args.join(" "));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "`pcs {}` stderr must mention `{needle}`:\n{stderr}",
+        args.join(" ")
+    );
+}
+
+#[test]
+fn empty_rates_list_is_rejected() {
+    rejected_with(
+        &["run", "--scenario", "fig6", "--rates", ""],
+        "at least one rate",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--rates", "  "],
+        "at least one rate",
+    );
+}
+
+#[test]
+fn non_positive_and_malformed_rates_are_rejected() {
+    rejected_with(
+        &["run", "--scenario", "fig6", "--rates", "0,50"],
+        "finite and positive",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--rates", "50,-3"],
+        "finite and positive",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--rates", "50,fast"],
+        "--rates",
+    );
+}
+
+#[test]
+fn zero_repeats_is_rejected() {
+    rejected_with(
+        &["run", "--scenario", "fig7", "--repeats", "0"],
+        "at least 1",
+    );
+}
+
+#[test]
+fn unknown_technique_error_names_the_new_vocabulary() {
+    let out = pcs(&[
+        "run",
+        "--scenario",
+        "failures",
+        "--techniques",
+        "warp-drive",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for token in ["warp-drive", "pcs+red<k>", "pcs-b<n>"] {
+        assert!(stderr.contains(token), "missing `{token}`:\n{stderr}");
+    }
+}
+
+#[test]
+fn list_techniques_includes_the_hybrid_and_budgeted_variants() {
+    let out = pcs(&["list", "techniques"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["pcs+red2", "pcs-b1"] {
+        assert!(stdout.contains(name), "missing `{name}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn list_scenarios_includes_failures() {
+    let out = pcs(&["list", "scenarios"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failures"), "{stdout}");
+}

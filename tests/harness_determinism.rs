@@ -57,6 +57,11 @@ fn mmpp_report_is_byte_identical_across_runs_and_thread_counts() {
     assert_reproducible("mmpp");
 }
 
+#[test]
+fn failures_report_is_byte_identical_across_runs_and_thread_counts() {
+    assert_reproducible("failures");
+}
+
 /// FNV-1a 64 over the rendered report: a compact byte-exact pin.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -78,6 +83,21 @@ fn mmpp_smoke_report_bytes_are_pinned() {
         fnv1a(report.as_bytes()),
         0x9ca1_1c5d_61d9_260d,
         "mmpp smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
+/// The failures smoke report is pinned byte-identical across PRs like
+/// mmpp's: any change to the fault-injection path (kill/restore
+/// mechanics, failover, evacuation accounting, the seeded fault-plan
+/// generators, or the techniques it sweeps) shows up here as a hash
+/// change and must be deliberate.
+#[test]
+fn failures_smoke_report_bytes_are_pinned() {
+    let report = render("failures", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0x02a7_42a0_3588_2d04,
+        "failures smoke report bytes changed; if intentional, re-pin this hash"
     );
 }
 
