@@ -72,6 +72,10 @@ impl DispatchPolicy for RedundancyPolicy {
         None
     }
 
+    fn reissues(&self) -> bool {
+        false
+    }
+
     fn observe_latency(&mut self, _class: usize, _latency: SimDuration) {}
 
     fn cancel_on_start(&self) -> bool {

@@ -1,0 +1,125 @@
+//! Criterion benches for the DES hot-path substrates overhauled in the
+//! perf pass: the request table, the split event queue, the O(n) latency
+//! summaries, and the end-to-end event loop. `pcs bench` measures the
+//! same paths at scenario granularity; these isolate the substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcs_monitor::LatencyRecorder;
+use pcs_queueing::{percentile_sorted, percentile_unsorted, sort_f64_total};
+use pcs_sim::{BasicPolicy, Event, EventQueue, NoopScheduler, RequestTable, SimConfig, Simulation};
+use pcs_types::{ComponentId, SimDuration, SimTime};
+use pcs_workloads::ServiceTopology;
+
+/// FIFO request churn through the sliding-window table (the pattern the
+/// arrival/completion path produces): admit, touch, retire.
+fn bench_request_table(c: &mut Criterion) {
+    c.bench_function("request_table_fifo_churn", |b| {
+        let mut table = RequestTable::new();
+        let mut live = std::collections::VecDeque::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let id = table.insert_next(SimTime::from_micros(t), 8);
+            live.push_back(id);
+            std::hint::black_box(table.get_mut(id));
+            if live.len() > 64 {
+                table.remove(live.pop_front().unwrap());
+            }
+        })
+    });
+}
+
+/// Steady-state event churn: one completion slot write + pop and one
+/// heap timer per iteration, mirroring the simulator's mix.
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_churn", |b| {
+        let mut q = EventQueue::with_capacity(256);
+        let mut t = 0u64;
+        let mut i = 0u32;
+        // Pre-fill a pending set comparable to a live run's.
+        for i in 0..32 {
+            q.schedule(SimTime::from_micros(i + 1), Event::MonitorTick);
+        }
+        b.iter(|| {
+            t += 100;
+            i += 1;
+            // Components cycle far slower than the ~16-iteration pending
+            // set drains, honouring the one-pending-completion-per-
+            // component invariant.
+            q.schedule(
+                SimTime::from_micros(t + 37),
+                Event::ServiceCompletion {
+                    component: ComponentId::new(i % 50),
+                    epoch: 0,
+                },
+            );
+            q.schedule(SimTime::from_micros(t + 53), Event::MonitorTick);
+            std::hint::black_box(q.pop());
+            std::hint::black_box(q.pop());
+        })
+    });
+}
+
+/// The run-end summary over a latency-sized sample buffer: the O(n)
+/// radix path against the comparison sort it replaced.
+fn bench_latency_summary(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 2_654_435_761_u64 % 10_000) as f64) * 1e-6 + 1e-4)
+        .collect();
+    let mut group = c.benchmark_group("latency_summary");
+    group.sample_size(20);
+    group.bench_function("radix_summary", |b| {
+        let mut recorder = LatencyRecorder::with_capacity(samples.len());
+        for &s in &samples {
+            recorder.record_secs(s);
+        }
+        b.iter(|| std::hint::black_box(recorder.summary()))
+    });
+    group.bench_function("comparison_sort_reference", |b| {
+        b.iter(|| {
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            std::hint::black_box(percentile_sorted(&sorted, 0.99))
+        })
+    });
+    group.bench_function("radix_sort", |b| {
+        b.iter(|| {
+            let mut sorted = samples.clone();
+            sort_f64_total(&mut sorted);
+            std::hint::black_box(sorted[sorted.len() - 1])
+        })
+    });
+    group.bench_function("selection_percentile", |b| {
+        b.iter(|| {
+            let mut scratch = samples.clone();
+            std::hint::black_box(percentile_unsorted(&mut scratch, 0.99))
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end events/sec of a small fault-free run (the DES core's
+/// headline number, also reported by `pcs bench`).
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_loop");
+    group.sample_size(10);
+    group.bench_function("basic_nutch8_4s", |b| {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 80.0, 62015);
+        cfg.horizon = SimDuration::from_secs(4);
+        cfg.warmup = SimDuration::from_secs(1);
+        b.iter(|| {
+            let sim = Simulation::new(cfg.clone(), Box::new(BasicPolicy), Box::new(NoopScheduler));
+            std::hint::black_box(sim.run().events_processed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_request_table,
+    bench_event_queue,
+    bench_latency_summary,
+    bench_event_loop
+);
+criterion_main!(benches);

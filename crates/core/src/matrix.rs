@@ -76,6 +76,21 @@ pub struct BestEntry {
     pub self_gain: f64,
 }
 
+/// Classes covered by the per-what-if profile memo (components of higher
+/// class indices — none exist in current topologies — just skip the memo).
+const CLASS_MEMO: usize = 8;
+
+/// One hypothetical node state under evaluation: see
+/// [`PerformanceMatrix::what_if`].
+#[derive(Debug, Clone)]
+struct NodeWhatIf {
+    mean_u: ContentionVector,
+    /// Shifted sample window ([`PredictionMode::PerSample`] only).
+    shifted: Vec<ContentionVector>,
+    /// Per-class memo of the Eq. 1 service profile under this state.
+    profiles: [Option<crate::predictor::ServiceProfile>; CLASS_MEMO],
+}
+
 /// Per-component scheduling state.
 #[derive(Debug, Clone)]
 struct CompState {
@@ -109,6 +124,17 @@ pub struct PerformanceMatrix {
     gain: Vec<f64>,
     /// Migrant's own latency reduction per entry, row-major m×k.
     self_gain: Vec<f64>,
+    /// Memoised *current-state* what-if per node (the Table III row-1
+    /// evaluation every matrix row repeats against the same destination),
+    /// invalidated whenever the node's demand changes. Pure caching —
+    /// identical values to recomputing.
+    current_state: Vec<Option<NodeWhatIf>>,
+    /// Memoised origin-side what-if of the row currently being evaluated
+    /// (`U − U_cᵢ` is shared by every destination column of row `i`),
+    /// invalidated on any demand change.
+    row_state: Option<(ComponentId, NodeWhatIf)>,
+    /// Reusable override buffer for Eq. 5 evaluations.
+    overrides_buf: Vec<(ComponentId, f64)>,
     /// Wall-clock time spent in the initial full build ("analysis time").
     build_time: Duration,
 }
@@ -169,6 +195,9 @@ impl PerformanceMatrix {
             index: StageLatencyIndex::build(&vec![0.0; m.max(1)], &vec![0; m.max(1)], 1),
             gain: vec![0.0; m * k],
             self_gain: vec![0.0; m * k],
+            current_state: vec![None; k],
+            row_state: None,
+            overrides_buf: Vec::new(),
             build_time: Duration::ZERO,
         };
         matrix.refresh_base_latencies(inputs.stage_count);
@@ -294,9 +323,13 @@ impl PerformanceMatrix {
         assert_ne!(origin, destination, "migration must change the node");
         let d_ci = self.comps[i.index()].demand;
 
-        // Move the component.
+        // Move the component (and drop the two touched nodes' memoised
+        // current-state evaluations — their demand just changed).
         self.node_demand[origin.index()] = self.node_demand[origin.index()].saturating_sub(&d_ci);
         self.node_demand[destination.index()] += d_ci;
+        self.current_state[origin.index()] = None;
+        self.current_state[destination.index()] = None;
+        self.row_state = None;
         let residents = &mut self.node_components[origin.index()];
         let pos = residents
             .iter()
@@ -307,12 +340,14 @@ impl PerformanceMatrix {
         self.allocation[i.index()] = destination;
 
         // Refresh base latencies of every component on the two touched
-        // nodes (their monitored contention changed).
+        // nodes (their monitored contention changed); residents of one
+        // node share a what-if, so each class's profile is predicted once.
         let mut changes: Vec<(ComponentId, f64)> = Vec::new();
         for node in [origin, destination] {
             let demand = self.node_demand[node.index()];
+            let mut state = self.what_if(node, demand);
             for &c in &self.node_components[node.index()] {
-                let lat = self.latency_for(c, node, demand);
+                let lat = self.latency_with(&mut state, c);
                 self.base_latency[c.index()] = lat;
                 changes.push((c, lat));
             }
@@ -385,60 +420,81 @@ impl PerformanceMatrix {
         self.self_gain[slot] = self_gain;
     }
 
-    /// Evaluates Eq. 5 for a candidate migration without mutating state.
-    fn evaluate_migration(&self, i: ComponentId, j: NodeId) -> (f64, f64) {
+    /// Evaluates Eq. 5 for a candidate migration. Logically read-only:
+    /// the only mutation is filling the current-state what-if cache.
+    fn evaluate_migration(&mut self, i: ComponentId, j: NodeId) -> (f64, f64) {
         let origin = self.allocation[i.index()];
         let d_ci = self.comps[i.index()].demand;
 
-        // Small per-entry override buffer: the migrant + residents of the
-        // two touched nodes.
-        let mut overrides: Vec<(ComponentId, f64)> = Vec::with_capacity(
-            1 + self.node_components[origin.index()].len() + self.node_components[j.index()].len(),
-        );
+        // Reusable per-entry override buffer: the migrant + residents of
+        // the two touched nodes.
+        let mut overrides = std::mem::take(&mut self.overrides_buf);
+        overrides.clear();
 
         // Migrant: Table III row 1 — experiences the destination's
-        // pre-migration aggregate.
-        let li_new = self.latency_for(i, j, self.node_demand[j.index()]);
+        // pre-migration aggregate. That state is shared by every row of
+        // the destination's matrix column, so it comes from the per-node
+        // cache (take/put-back to keep the borrows disjoint).
+        let mut dest_now = self.current_state[j.index()]
+            .take()
+            .unwrap_or_else(|| self.what_if(j, self.node_demand[j.index()]));
+        let li_new = self.latency_with(&mut dest_now, i);
+        self.current_state[j.index()] = Some(dest_now);
         overrides.push((i, li_new));
 
-        // Origin co-residents: Table III row 2 — `U − U_ci`.
-        let origin_demand = self.node_demand[origin.index()].saturating_sub(&d_ci);
-        for &c in &self.node_components[origin.index()] {
-            if c == i {
-                continue;
+        // Origin co-residents: Table III row 2 — `U − U_ci`. The state is
+        // shared across the whole row (every destination column of `i`)
+        // *and* by all origin co-residents, so it rides a one-row cache.
+        // A migrant living alone skips the hypothetical entirely: the
+        // loop would evaluate nobody.
+        if self.node_components[origin.index()].len() > 1 {
+            let mut origin_after = match self.row_state.take() {
+                Some((row, state)) if row == i => state,
+                _ => {
+                    let origin_demand = self.node_demand[origin.index()].saturating_sub(&d_ci);
+                    self.what_if(origin, origin_demand)
+                }
+            };
+            for &c in &self.node_components[origin.index()] {
+                if c == i {
+                    continue;
+                }
+                overrides.push((c, self.latency_with(&mut origin_after, c)));
             }
-            overrides.push((c, self.latency_for(c, origin, origin_demand)));
+            self.row_state = Some((i, origin_after));
         }
 
-        // Destination co-residents: Table III row 3 — `U + U_ci`.
-        let dest_demand = self.node_demand[j.index()] + d_ci;
-        for &c in &self.node_components[j.index()] {
-            overrides.push((c, self.latency_for(c, j, dest_demand)));
+        // Destination co-residents: Table III row 3 — `U + U_ci` (an
+        // empty destination has nobody to re-evaluate).
+        if !self.node_components[j.index()].is_empty() {
+            let dest_demand = self.node_demand[j.index()] + d_ci;
+            let mut dest_after = self.what_if(j, dest_demand);
+            for &c in &self.node_components[j.index()] {
+                overrides.push((c, self.latency_with(&mut dest_after, c)));
+            }
         }
 
         let l_overall_new = self.index.overall_with_overrides(&overrides);
         let gain = self.index.overall() - l_overall_new;
         let self_gain = self.base_latency[i.index()] - li_new;
+        self.overrides_buf = overrides;
         (gain, self_gain)
     }
 
-    /// Predicts component `c`'s latency if the aggregate demand of node
-    /// `node` were `demand` (Eq. 1 + Eq. 2).
-    fn latency_for(&self, c: ComponentId, node: NodeId, demand: ResourceVector) -> f64 {
-        let state = &self.comps[c.index()];
+    /// Prepares the evaluation of one hypothetical node state ("what if
+    /// node `node` carried aggregate demand `demand`"): the normalised
+    /// contention, the shifted sample window (per-sample mode only), and
+    /// an empty per-class profile memo.
+    fn what_if(&self, node: NodeId, demand: ResourceVector) -> NodeWhatIf {
         let cap = &self.caps[node.index()];
         let mean_u = cap.normalize(&demand);
-        let predictor = LatencyPredictor::new(&self.models, self.config.mode)
-            .with_saturation(self.config.saturation);
-        let breakdown = match self.config.mode {
-            PredictionMode::MeanContention => predictor
-                .latency(state.class, &mean_u, &[], state.arrival_rate, state.scv)
-                .expect("class validated at build time"),
+        let shifted = match self.config.mode {
+            PredictionMode::MeanContention => Vec::new(),
             PredictionMode::PerSample => {
                 // Shift the node's observed samples by the demand delta of
                 // this what-if (zero for the node's current state).
                 let delta = cap.normalize(&(demand - self.node_demand[node.index()]));
-                let shifted: Vec<ContentionVector> = self.node_samples[node.index()]
+                self.node_samples[node.index()]
                     .iter()
                     .map(|s| ContentionVector {
                         core_usage: (s.core_usage + delta.core_usage).max(0.0),
@@ -446,29 +502,55 @@ impl PerformanceMatrix {
                         disk_util: (s.disk_util + delta.disk_util).max(0.0),
                         net_util: (s.net_util + delta.net_util).max(0.0),
                     })
-                    .collect();
-                predictor
-                    .latency(
-                        state.class,
-                        &mean_u,
-                        &shifted,
-                        state.arrival_rate,
-                        state.scv,
-                    )
-                    .expect("class validated at build time")
+                    .collect()
             }
         };
-        breakdown.latency
+        NodeWhatIf {
+            mean_u,
+            shifted,
+            profiles: [None; CLASS_MEMO],
+        }
+    }
+
+    /// Predicts component `c`'s latency under a prepared node state,
+    /// memoising the class-level Eq. 1 profile — a pure function of
+    /// `(class, node state)`, so replaying it for co-resident components
+    /// of the same class is bit-identical to recomputing.
+    fn latency_with(&self, what_if: &mut NodeWhatIf, c: ComponentId) -> f64 {
+        let state = &self.comps[c.index()];
+        let predictor = LatencyPredictor::new(&self.models, self.config.mode)
+            .with_saturation(self.config.saturation);
+        let profile = match what_if.profiles.get(state.class) {
+            Some(Some(profile)) => *profile,
+            slot => {
+                let profile = predictor
+                    .service_profile(state.class, &what_if.mean_u, &what_if.shifted)
+                    .expect("class validated at build time");
+                if slot.is_some() {
+                    what_if.profiles[state.class] = Some(profile);
+                }
+                profile
+            }
+        };
+        predictor
+            .latency_from_profile(profile, state.arrival_rate, state.scv)
+            .latency
     }
 
     /// Recomputes every base latency and the Eq. 3/4 index from scratch.
     fn refresh_base_latencies(&mut self, stage_count: usize) {
-        let m = self.component_count();
-        for i in 0..m {
-            let c = ComponentId::from_index(i);
-            let node = self.allocation[i];
-            self.base_latency[i] = self.latency_for(c, node, self.node_demand[node.index()]);
+        // Node by node, so co-residents share one what-if (and its
+        // per-class profile memo). Order is irrelevant: each base latency
+        // is a pure function of its component and node state.
+        let mut base = std::mem::take(&mut self.base_latency);
+        for j in 0..self.node_count() {
+            let node = NodeId::from_index(j);
+            let mut state = self.what_if(node, self.node_demand[j]);
+            for &c in &self.node_components[j] {
+                base[c.index()] = self.latency_with(&mut state, c);
+            }
         }
+        self.base_latency = base;
         let stages: Vec<usize> = self.comps.iter().map(|c| c.stage).collect();
         self.index = StageLatencyIndex::build(&self.base_latency, &stages, stage_count);
     }

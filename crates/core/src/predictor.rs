@@ -127,6 +127,70 @@ impl<'m> LatencyPredictor<'m> {
         Ok(self.models.get(class)?.predict_clamped(u))
     }
 
+    /// The class-level half of [`LatencyPredictor::latency`]: the Eq. 1
+    /// service-time prediction under one node state, independent of any
+    /// particular component's arrival rate or intrinsic SCV.
+    ///
+    /// Because the profile depends only on `(class, node state)`, callers
+    /// evaluating many co-resident components against the same
+    /// hypothetical node (the matrix's Table III rows) compute it once
+    /// per class and finish each component with
+    /// [`LatencyPredictor::latency_from_profile`] — the split is exactly
+    /// the original computation, factored, so results are bit-identical.
+    ///
+    /// # Errors
+    /// Unknown class index.
+    pub fn service_profile(
+        &self,
+        class: usize,
+        mean_u: &ContentionVector,
+        samples: &[ContentionVector],
+    ) -> Result<ServiceProfile, PcsError> {
+        let model = self.models.get(class)?;
+        Ok(match self.mode {
+            PredictionMode::PerSample if !samples.is_empty() => {
+                let mut moments = Moments::new();
+                for s in samples {
+                    moments.push(model.predict_clamped(s));
+                }
+                ServiceProfile {
+                    xbar: moments.mean(),
+                    scv_contention: Some(moments.scv()),
+                }
+            }
+            _ => ServiceProfile {
+                xbar: model.predict_clamped(mean_u),
+                scv_contention: None,
+            },
+        })
+    }
+
+    /// The component-level half of [`LatencyPredictor::latency`]: Eq. 2
+    /// over an already-computed [`ServiceProfile`].
+    pub fn latency_from_profile(
+        &self,
+        profile: ServiceProfile,
+        arrival_rate: f64,
+        fallback_scv: f64,
+    ) -> LatencyBreakdown {
+        // The per-sample variance captures contention variability; the
+        // component's intrinsic variability (fallback SCV) adds on top.
+        // Variances of independent effects add, so SCVs combine as:
+        // scv_total ≈ scv_contention + scv_intrinsic.
+        let scv = match profile.scv_contention {
+            Some(contention) => contention + fallback_scv,
+            None => fallback_scv,
+        };
+        let est = Mg1::new(arrival_rate, profile.xbar, scv).estimate_with(self.saturation);
+        LatencyBreakdown {
+            service_time: profile.xbar,
+            scv,
+            latency: est.latency,
+            utilization: est.utilization,
+            saturated: est.saturated,
+        }
+    }
+
     /// Predicts a component's expected latency (Eq. 2).
     ///
     /// * `mean_u` — the interval's mean contention vector;
@@ -135,6 +199,9 @@ impl<'m> LatencyPredictor<'m> {
     /// * `arrival_rate` — monitored λ (req/s);
     /// * `fallback_scv` — SCV used in [`PredictionMode::MeanContention`]
     ///   or when no samples exist.
+    ///
+    /// # Errors
+    /// Unknown class index.
     pub fn latency(
         &self,
         class: usize,
@@ -143,30 +210,20 @@ impl<'m> LatencyPredictor<'m> {
         arrival_rate: f64,
         fallback_scv: f64,
     ) -> Result<LatencyBreakdown, PcsError> {
-        let model = self.models.get(class)?;
-        let (xbar, scv) = match self.mode {
-            PredictionMode::PerSample if !samples.is_empty() => {
-                let mut moments = Moments::new();
-                for s in samples {
-                    moments.push(model.predict_clamped(s));
-                }
-                // The per-sample variance captures contention variability;
-                // the component's intrinsic variability (fallback SCV) adds
-                // on top. Variances of independent effects add, so SCVs
-                // combine as: scv_total ≈ scv_contention + scv_intrinsic.
-                (moments.mean(), moments.scv() + fallback_scv)
-            }
-            _ => (model.predict_clamped(mean_u), fallback_scv),
-        };
-        let est = Mg1::new(arrival_rate, xbar, scv).estimate_with(self.saturation);
-        Ok(LatencyBreakdown {
-            service_time: xbar,
-            scv,
-            latency: est.latency,
-            utilization: est.utilization,
-            saturated: est.saturated,
-        })
+        let profile = self.service_profile(class, mean_u, samples)?;
+        Ok(self.latency_from_profile(profile, arrival_rate, fallback_scv))
     }
+}
+
+/// The class-level service-time prediction under one node state: Eq. 1's
+/// x̄ plus, in [`PredictionMode::PerSample`], the contention-induced SCV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProfile {
+    /// Predicted mean service time (seconds).
+    pub xbar: f64,
+    /// SCV contributed by contention variability (`None` outside
+    /// per-sample mode — the component's intrinsic SCV applies alone).
+    pub scv_contention: Option<f64>,
 }
 
 #[cfg(test)]

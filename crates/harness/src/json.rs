@@ -109,6 +109,265 @@ impl Json {
             other => other.render(),
         }
     }
+
+    /// Looks up a key in an object (insertion order, first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (strict grammar, one top-level value).
+    ///
+    /// The inverse of [`Json::render`]: everything the writer emits parses
+    /// back to an equal value (objects keep their key order; numbers
+    /// written with a `.`/exponent come back as [`Json::Num`], bare
+    /// integers as [`Json::Int`]). The harness consumes its own reports —
+    /// e.g. `pcs bench --baseline <previous report>` — so a full serde
+    /// stack stays unnecessary.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// A minimal recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The scanned run is valid UTF-8 because the input is a &str
+            // and the run stops before any ASCII control/quote byte.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), String> {
+        let c = self
+            .peek()
+            .ok_or_else(|| format!("dangling escape at byte {}", self.pos))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: the low half must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(format!("lone surrogate at byte {}", self.pos));
+                    }
+                    self.pos += 1;
+                    self.expect(b'u')?;
+                    let lo = self.hex4()?;
+                    if !(0xdc00..0xe000).contains(&lo) {
+                        return Err(format!("invalid low surrogate at byte {}", self.pos));
+                    }
+                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point at byte {}", self.pos))?,
+                );
+            }
+            other => return Err(format!("bad escape `\\{}`", other as char)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|e| format!("bad number `{text}`: {e}"))?;
+        Ok(Json::Num(v))
+    }
 }
 
 /// Writes a float in JSON-safe, deterministic form.
@@ -242,5 +501,72 @@ mod tests {
         assert_eq!(Json::Null.as_f64(), None);
         assert_eq!(Json::Str("x".into()).to_cell_string(), "x");
         assert_eq!(Json::Num(2.5).to_cell_string(), "2.5");
+        let obj = Json::object(vec![("k".into(), Json::Int(1))]);
+        assert_eq!(obj.get("k"), Some(&Json::Int(1)));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(
+            Json::Array(vec![Json::Null]).as_array(),
+            Some(&[Json::Null][..])
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_reports() {
+        let doc = Json::object(vec![
+            ("scenario".into(), Json::from("fig6")),
+            ("seed".into(), Json::from(62015u64)),
+            ("smoke".into(), Json::Bool(true)),
+            ("rates".into(), Json::Null),
+            (
+                "cells".into(),
+                Json::Array(vec![Json::object(vec![
+                    ("label".into(), Json::from("Basic @ 80 req/s")),
+                    ("p99_ms".into(), Json::Num(1.25)),
+                    ("neg".into(), Json::Num(-0.5)),
+                    ("int".into(), Json::Int(-3)),
+                    ("weird\"key\n".into(), Json::Num(1e-9)),
+                ])]),
+            ),
+        ]);
+        let parsed = Json::parse(&doc.render()).expect("own output parses");
+        assert_eq!(parsed, doc);
+        // And the round trip is byte-stable.
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let parsed =
+            Json::parse(" { \"a\" : [ 1 , 2.5e1 , \"\\u0041\\ud83d\\ude00\" ] } ").expect("parses");
+        assert_eq!(
+            parsed,
+            Json::object(vec![(
+                "a".into(),
+                Json::Array(vec![
+                    Json::Int(1),
+                    Json::Num(25.0),
+                    Json::Str("A\u{1f600}".into())
+                ])
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "[1e]",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 }

@@ -10,7 +10,7 @@
 //!   service-time mean and variance. [`ServiceTimeWindow`] keeps a bounded
 //!   window of observed service times and exposes their moments.
 
-use pcs_queueing::{percentile_sorted, Moments};
+use pcs_queueing::{percentile_sorted, sort_f64_total, Moments};
 use pcs_types::SimDuration;
 
 /// Summary statistics of a latency population.
@@ -56,6 +56,15 @@ impl LatencyRecorder {
         }
     }
 
+    /// Creates an empty recorder with room for `capacity` samples, so a
+    /// run whose sample budget is known up front (arrival rate × horizon
+    /// × fan-out) records without growth reallocations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Records one latency.
     pub fn record(&mut self, latency: SimDuration) {
         self.samples.push(latency.as_secs_f64());
@@ -88,13 +97,17 @@ impl LatencyRecorder {
         self.samples.extend_from_slice(&other.samples);
     }
 
-    /// Computes exact summary statistics (sorts a copy; O(n log n)).
+    /// Computes exact summary statistics over a sorted copy — O(n), via
+    /// the bit-exact radix sort (the ascending arrangement of an `f64`
+    /// multiset is unique, so the summary is identical to the old
+    /// comparison-sort path byte for byte).
     pub fn summary(&self) -> LatencySummary {
         if self.samples.is_empty() {
             return LatencySummary::EMPTY;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut sorted = Vec::with_capacity(self.samples.len());
+        sorted.extend_from_slice(&self.samples);
+        sort_f64_total(&mut sorted);
         let moments = Moments::from_slice(&sorted);
         LatencySummary {
             count: sorted.len(),

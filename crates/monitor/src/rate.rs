@@ -28,7 +28,8 @@ impl ArrivalRateEstimator {
         }
     }
 
-    /// Records one request arrival.
+    /// Records one request arrival — a pure append on the hot path;
+    /// out-of-window entries are evicted lazily by the (rare) reads.
     ///
     /// Arrivals must be recorded in non-decreasing time order (they come
     /// from a log); this is asserted in debug builds.
@@ -38,7 +39,6 @@ impl ArrivalRateEstimator {
             "arrivals must be recorded in time order"
         );
         self.arrivals.push_back(at);
-        self.evict(at);
     }
 
     /// The estimated arrival rate (requests/second) at `now`, over the
@@ -53,9 +53,18 @@ impl ArrivalRateEstimator {
         self.arrivals.len() as f64 / horizon
     }
 
-    /// Number of arrivals currently inside the window.
+    /// Number of arrivals currently inside the window (as of the last
+    /// eviction — [`ArrivalRateEstimator::rate`] evicts before counting).
     pub fn window_count(&self) -> usize {
         self.arrivals.len()
+    }
+
+    /// Evicts out-of-window arrivals without reading the rate. Callers
+    /// that never consult [`ArrivalRateEstimator::rate`] (a run under a
+    /// non-migrating scheduler) call this periodically so the lazily
+    /// evicted log stays bounded.
+    pub fn trim(&mut self, now: SimTime) {
+        self.evict(now);
     }
 
     /// The configured window.

@@ -143,6 +143,21 @@ impl ContentionSampler {
         std::mem::take(&mut self.window)
     }
 
+    /// [`ContentionSampler::drain_window`] into a reusable buffer: the
+    /// caller's buffer is cleared and swapped with the window, so steady
+    /// ticking recycles two allocations instead of growing fresh ones.
+    pub fn drain_window_into(&mut self, out: &mut Vec<ContentionVector>) {
+        out.clear();
+        std::mem::swap(&mut self.window, out);
+    }
+
+    /// Discards the current window without reading it — for runs whose
+    /// scheduler never consumes samples, so the window cannot grow for
+    /// the whole horizon.
+    pub fn discard_window(&mut self) {
+        self.window.clear();
+    }
+
     /// Number of samples waiting in the current window.
     pub fn window_len(&self) -> usize {
         self.window.len()

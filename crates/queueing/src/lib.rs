@@ -37,10 +37,12 @@ pub mod distributions;
 pub mod mg1;
 pub mod moments;
 pub mod percentile;
+pub mod sort;
 
 pub use distributions::{
     standard_normal, Deterministic, Exponential, LogNormal, Pareto, ServiceDistribution, Uniform,
 };
 pub use mg1::{Mg1, Mm1, QueueEstimate, SaturationPolicy};
 pub use moments::Moments;
-pub use percentile::{percentile_sorted, P2Quantile};
+pub use percentile::{percentile_sorted, percentile_unsorted, P2Quantile};
+pub use sort::sort_f64_total;

@@ -40,6 +40,47 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
+/// [`percentile_sorted`] without the sort: O(n) selection over an
+/// **unsorted** buffer via `select_nth_unstable_by`.
+///
+/// Returns a bit-identical result to sorting the same buffer with
+/// `total_cmp` and calling [`percentile_sorted`] — the selected order
+/// statistics are the same values (under `total_cmp`, equal means
+/// bit-equal), and the interpolation arithmetic is the same expression.
+/// The buffer is reordered (partitioned around the selected ranks).
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_unsorted(values: &mut [f64], q: f64) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
+    if values.is_empty() {
+        return None;
+    }
+    if values.len() == 1 {
+        return Some(values[0]);
+    }
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    let (_, lo_ref, upper) = values.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    let lo_val = *lo_ref;
+    let hi_val = if hi == lo {
+        lo_val
+    } else {
+        // Rank lo+1 is the minimum of the upper partition.
+        upper
+            .iter()
+            .copied()
+            .reduce(|a, b| if b.total_cmp(&a).is_lt() { b } else { a })
+            .expect("hi > lo implies a non-empty upper partition")
+    };
+    Some(lo_val + (hi_val - lo_val) * frac)
+}
+
 /// Streaming quantile estimation with the P² algorithm.
 ///
 /// Maintains five markers whose heights approximate the quantile without

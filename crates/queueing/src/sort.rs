@@ -1,0 +1,167 @@
+//! O(n) sorting for latency sample buffers.
+//!
+//! A run's latency summary (`pcs-monitor`) needs its samples in
+//! ascending order — the percentiles read order statistics, and the mean
+//! is accumulated over the ascending sequence (pinned byte-for-byte by
+//! the scenario reports, so the *sequence* is load-bearing, not just the
+//! multiset). Replacing the comparison sort with an LSD radix sort over
+//! the IEEE-754 total-order key keeps the output bit-identical — a
+//! multiset of `f64`s has exactly one `total_cmp`-ascending arrangement,
+//! because `total_cmp` equality implies identical bit patterns — while
+//! the cost drops from O(n log n) comparisons to eight (usually fewer,
+//! degenerate digits are skipped) counting passes.
+
+/// Buffers below this size use the comparison sort: the radix passes'
+/// fixed costs (histograms, key transform) only pay off at scale, and
+/// both algorithms produce the identical ascending arrangement.
+const RADIX_THRESHOLD: usize = 1 << 12;
+
+/// Sorts into ascending [`f64::total_cmp`] order.
+///
+/// Output is bit-identical to `values.sort_by(|a, b| a.total_cmp(b))`
+/// for every input, including negative zeros and NaNs (which `total_cmp`
+/// orders by sign and payload).
+pub fn sort_f64_total(values: &mut [f64]) {
+    if values.len() < RADIX_THRESHOLD {
+        values.sort_by(|a, b| a.total_cmp(b));
+    } else {
+        radix_sort(values);
+    }
+}
+
+/// The order-preserving key of `total_cmp`: negatives flip entirely
+/// (descending magnitude becomes ascending key), non-negatives set the
+/// sign bit (placing them above every negative).
+#[inline]
+fn key(v: f64) -> u64 {
+    let b = v.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Inverse of [`key`].
+#[inline]
+fn unkey(k: u64) -> f64 {
+    let b = if k & 0x8000_0000_0000_0000 != 0 {
+        k ^ 0x8000_0000_0000_0000
+    } else {
+        !k
+    };
+    f64::from_bits(b)
+}
+
+fn radix_sort(values: &mut [f64]) {
+    let n = values.len();
+    let mut keys: Vec<u64> = values.iter().map(|&v| key(v)).collect();
+    let mut scratch = vec![0u64; n];
+    // All eight digit histograms in one pass over the data.
+    let mut hist = vec![[0usize; 256]; 8];
+    for &k in &keys {
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[((k >> (8 * d)) & 0xff) as usize] += 1;
+        }
+    }
+    let mut src = &mut keys;
+    let mut dst = &mut scratch;
+    for (d, h) in hist.iter().enumerate() {
+        // A digit with a single occupied bucket permutes nothing.
+        if h.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut sum = 0;
+        for (offset, &count) in offsets.iter_mut().zip(h.iter()) {
+            *offset = sum;
+            sum += count;
+        }
+        for &k in src.iter() {
+            let bucket = ((k >> (8 * d)) & 0xff) as usize;
+            dst[offsets[bucket]] = k;
+            offsets[bucket] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    for (v, &k) in values.iter_mut().zip(src.iter()) {
+        *v = unkey(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reference(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    fn assert_bits_equal(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn key_transform_round_trips_and_orders() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.5,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        for &v in &samples {
+            assert_eq!(unkey(key(v)).to_bits(), v.to_bits());
+        }
+        for pair in samples.windows(2) {
+            if pair[0].total_cmp(&pair[1]).is_lt() {
+                assert!(key(pair[0]) < key(pair[1]), "{} !< {}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_large_buffers_match_the_comparison_sort_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for &n in &[
+            0usize,
+            1,
+            2,
+            100,
+            RADIX_THRESHOLD - 1,
+            RADIX_THRESHOLD,
+            20_000,
+        ] {
+            let data: Vec<f64> = (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    // Latency-like magnitudes with occasional negatives
+                    // and exact duplicates.
+                    match rng.gen_range(0..10) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        2 => 0.00125,
+                        3 => -u,
+                        _ => u * 10f64.powi(rng.gen_range(-6..3)),
+                    }
+                })
+                .collect();
+            let mut sorted = data.clone();
+            sort_f64_total(&mut sorted);
+            assert_bits_equal(&sorted, &reference(data));
+        }
+    }
+
+    #[test]
+    fn constant_buffers_skip_every_pass() {
+        let mut v = vec![0.00125f64; 5000];
+        sort_f64_total(&mut v);
+        assert!(v.iter().all(|&x| x == 0.00125));
+    }
+}

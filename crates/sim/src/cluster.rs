@@ -21,6 +21,15 @@ pub struct NodeState {
     batch_demand: ResourceVector,
     /// Cached sum of resident components' own demand.
     component_demand: ResourceVector,
+    /// Monotonic counter of demand mutations (the validity token of
+    /// per-component caches derived from this node's contention).
+    demand_version: u64,
+    /// Memoised [`NodeState::contention`], invalidated by every demand
+    /// mutation. The contention vector is a pure function of (capacity,
+    /// total demand), so serving it from cache between batch-churn and
+    /// monitor events is bit-identical to recomputing — it just skips
+    /// four divisions per service start.
+    cached_contention: Option<ContentionVector>,
 }
 
 impl NodeState {
@@ -31,6 +40,8 @@ impl NodeState {
             jobs: Vec::new(),
             batch_demand: ResourceVector::ZERO,
             component_demand: ResourceVector::ZERO,
+            demand_version: 0,
+            cached_contention: None,
         }
     }
 
@@ -113,6 +124,8 @@ impl Cluster {
         let n = &mut self.nodes[node.index()];
         n.jobs.push((id, demand));
         n.batch_demand += demand;
+        n.demand_version += 1;
+        n.cached_contention = None;
         id
     }
 
@@ -139,6 +152,8 @@ impl Cluster {
         };
         let (_, demand) = n.jobs.swap_remove(pos);
         n.batch_demand = n.batch_demand.saturating_sub(&demand);
+        n.demand_version += 1;
+        n.cached_contention = None;
         true
     }
 
@@ -160,6 +175,8 @@ impl Cluster {
         n.jobs.clear();
         n.batch_demand = ResourceVector::ZERO;
         n.component_demand = ResourceVector::ZERO;
+        n.demand_version += 1;
+        n.cached_contention = None;
         true
     }
 
@@ -191,18 +208,40 @@ impl Cluster {
     /// Adds a component's own demand to a node (placement or migration
     /// arrival).
     pub fn add_component_demand(&mut self, node: NodeId, demand: ResourceVector) {
-        self.nodes[node.index()].component_demand += demand;
+        let n = &mut self.nodes[node.index()];
+        n.component_demand += demand;
+        n.demand_version += 1;
+        n.cached_contention = None;
     }
 
     /// Removes a component's own demand from a node (migration departure).
     pub fn remove_component_demand(&mut self, node: NodeId, demand: ResourceVector) {
         let n = &mut self.nodes[node.index()];
         n.component_demand = n.component_demand.saturating_sub(&demand);
+        n.demand_version += 1;
+        n.cached_contention = None;
     }
 
-    /// Contention of one node (Table II form).
-    pub fn contention(&self, node: NodeId) -> ContentionVector {
-        self.nodes[node.index()].contention()
+    /// The node's demand version: increments on every demand mutation,
+    /// so callers can key their own contention-derived caches on it.
+    #[inline]
+    pub fn demand_version(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].demand_version
+    }
+
+    /// Contention of one node (Table II form), memoised between demand
+    /// changes (bit-identical to recomputing: a pure function of
+    /// capacity and total demand).
+    pub fn contention(&mut self, node: NodeId) -> ContentionVector {
+        let n = &mut self.nodes[node.index()];
+        match n.cached_contention {
+            Some(u) => u,
+            None => {
+                let u = n.contention();
+                n.cached_contention = Some(u);
+                u
+            }
+        }
     }
 
     /// Total demand per node, densely indexed.

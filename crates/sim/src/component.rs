@@ -35,6 +35,14 @@ pub struct InFlight {
 }
 
 /// One physical component instance.
+///
+/// Cancellation is **tombstoning**: a cancelled queue entry stays in
+/// place with its request id replaced by [`RequestId::TOMBSTONE`] and is
+/// skipped when it reaches the head. This keeps cancellation O(log n) —
+/// the queue is FIFO, hence sorted by enqueue time, so a cancel that
+/// knows its duplicate's enqueue time (the dispatch or reissue timestamp
+/// recorded on the request) binary-searches instead of scanning, and
+/// nothing ever shifts the deque's interior.
 #[derive(Debug, Clone)]
 pub struct PhysicalComponent {
     /// Dense identity.
@@ -57,8 +65,12 @@ pub struct PhysicalComponent {
     /// When the hosting node was killed, if the component is currently
     /// orphaned (stranded on a dead node, awaiting re-placement).
     pub orphaned_since: Option<SimTime>,
-    /// FIFO queue of waiting sub-requests.
+    /// FIFO queue of waiting sub-requests (may contain tombstones).
     pub queue: VecDeque<QueueItem>,
+    /// Whether `queue` is sorted by `enqueued_at` (true until a failover
+    /// re-enqueues an item with its original, older timestamp; from then
+    /// on cancellations fall back to the linear scan).
+    pub queue_time_sorted: bool,
     /// The sub-request in service, if any.
     pub in_service: Option<InFlight>,
     /// Completed executions (including wasted ones).
@@ -78,19 +90,108 @@ impl PhysicalComponent {
         self.in_service.is_none()
     }
 
-    /// Queue length (excluding the item in service).
+    /// Number of live (non-tombstoned) waiting sub-requests, excluding
+    /// the item in service. O(queue) — diagnostics and tests only; the
+    /// hot paths never ask.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue
+            .iter()
+            .filter(|q| q.request != RequestId::TOMBSTONE)
+            .count()
     }
 
-    /// Removes every queued duplicate of `(request, stage, partition)`,
-    /// returning how many were cancelled. The in-service item is never
-    /// touched.
+    /// Appends a waiting sub-request, tracking whether the queue is
+    /// still sorted by enqueue time (failover re-enqueues keep their
+    /// original timestamp and break the sort).
+    pub fn enqueue(&mut self, item: QueueItem) {
+        if let Some(back) = self.queue.back() {
+            if back.enqueued_at > item.enqueued_at {
+                self.queue_time_sorted = false;
+            }
+        }
+        self.queue.push_back(item);
+    }
+
+    /// Pops the oldest live waiting sub-request, discarding tombstones.
+    pub fn pop_next_live(&mut self) -> Option<QueueItem> {
+        while let Some(item) = self.queue.pop_front() {
+            if item.request != RequestId::TOMBSTONE {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Tombstones every queued duplicate of `(request, stage, partition)`
+    /// by scanning the whole queue, returning how many were cancelled.
+    /// The in-service item is never touched. This is the fallback for
+    /// queues whose time order was broken by a failover; the hot path is
+    /// [`PhysicalComponent::cancel_queued_at`].
     pub fn cancel_queued(&mut self, request: RequestId, stage: u32, partition: u32) -> usize {
-        let before = self.queue.len();
+        let mut removed = 0;
+        for q in self.queue.iter_mut() {
+            if q.request == request && q.stage == stage && q.partition == partition {
+                q.request = RequestId::TOMBSTONE;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// True if a live duplicate of `(request, stage, partition)` enqueued
+    /// exactly at `at` is still waiting. Only meaningful while the queue
+    /// is time-sorted (asserted in debug builds); the fault-free world
+    /// uses this to prove a pending cancellation message would be a no-op
+    /// before paying to schedule it.
+    pub fn has_queued_duplicate_at(
+        &self,
+        request: RequestId,
+        stage: u32,
+        partition: u32,
+        at: SimTime,
+    ) -> bool {
+        debug_assert!(self.queue_time_sorted);
+        let start = self.queue.partition_point(|q| q.enqueued_at < at);
         self.queue
-            .retain(|q| !(q.request == request && q.stage == stage && q.partition == partition));
-        before - self.queue.len()
+            .range(start..)
+            .take_while(|q| q.enqueued_at == at)
+            .any(|q| q.request == request && q.stage == stage && q.partition == partition)
+    }
+
+    /// [`PhysicalComponent::cancel_queued`] in O(log n): the caller
+    /// supplies every enqueue timestamp a still-queued duplicate of this
+    /// `(request, stage, partition)` can carry (its dispatch time and, if
+    /// one fired, its reissue time — [`SimTime::MAX`] entries are
+    /// ignored), and each candidate run of equal timestamps is located by
+    /// binary search. Falls back to the linear scan when the queue's time
+    /// order was broken by a failover.
+    pub fn cancel_queued_at(
+        &mut self,
+        request: RequestId,
+        stage: u32,
+        partition: u32,
+        enqueue_times: [SimTime; 2],
+    ) -> usize {
+        if !self.queue_time_sorted {
+            return self.cancel_queued(request, stage, partition);
+        }
+        let mut removed = 0;
+        for (i, &at) in enqueue_times.iter().enumerate() {
+            if at == SimTime::MAX || enqueue_times[..i].contains(&at) {
+                continue;
+            }
+            let start = self.queue.partition_point(|q| q.enqueued_at < at);
+            for q in self.queue.range_mut(start..) {
+                if q.enqueued_at != at {
+                    break;
+                }
+                if q.request == request && q.stage == stage && q.partition == partition {
+                    q.request = RequestId::TOMBSTONE;
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 }
 
@@ -120,6 +221,9 @@ impl PhysicalComponent {
 pub struct Deployment {
     /// `groups[stage][partition]` = replica group (component ids).
     groups: Vec<Vec<Vec<ComponentId>>>,
+    /// Per stage: `(first component id, worker count, group size)` — the
+    /// closed form behind [`Deployment::replica_index`].
+    stage_layout: Vec<(u32, u32, u32)>,
     /// Total number of physical components.
     total: usize,
     replication: usize,
@@ -133,6 +237,7 @@ impl Deployment {
     pub fn new(topology: &ServiceTopology, replication: usize) -> Self {
         assert!(replication > 0, "replication must be >= 1");
         let mut groups = Vec::with_capacity(topology.stage_count());
+        let mut stage_layout = Vec::with_capacity(topology.stage_count());
         let mut base = 0u32;
         for stage in topology.stages() {
             let workers = stage.count as u32;
@@ -145,13 +250,46 @@ impl Deployment {
                 partitions.push(replicas);
             }
             groups.push(partitions);
+            stage_layout.push((base, workers, group_size as u32));
             base += workers;
         }
         Deployment {
             groups,
+            stage_layout,
             total: base as usize,
             replication,
         }
+    }
+
+    /// The index of `component` within the replica group serving
+    /// `(stage, partition)`, or `None` if it is not a member — the O(1)
+    /// closed form of `replicas(stage, partition).iter().position(..)`.
+    ///
+    /// Groups are `group_size` consecutive workers starting at the
+    /// partition's own worker (wrapping), so member `base + (p + r) %
+    /// workers` recovers `r = (offset − p) mod workers`.
+    #[inline]
+    pub fn replica_index(
+        &self,
+        stage: u32,
+        partition: u32,
+        component: ComponentId,
+    ) -> Option<usize> {
+        let (base, workers, group_size) = self.stage_layout[stage as usize];
+        let offset = component.raw().checked_sub(base)?;
+        if offset >= workers {
+            return None;
+        }
+        let index = (offset + workers - partition) % workers;
+        let found = (index < group_size).then_some(index as usize);
+        debug_assert_eq!(
+            found,
+            self.replicas(stage, partition)
+                .iter()
+                .position(|c| *c == component),
+            "closed-form replica index must match the group layout"
+        );
+        found
     }
 
     /// The replica group serving `(stage, partition)`.
@@ -197,6 +335,7 @@ impl Deployment {
                     epoch: 0,
                     orphaned_since: None,
                     queue: VecDeque::new(),
+                    queue_time_sorted: true,
                     in_service: None,
                     executions: 0,
                     busy_accum: pcs_types::SimDuration::ZERO,
@@ -284,13 +423,118 @@ mod tests {
             partition: part,
             enqueued_at: SimTime::ZERO,
         };
-        c.queue.push_back(mk(1, 0));
-        c.queue.push_back(mk(2, 0));
-        c.queue.push_back(mk(1, 0)); // duplicate of the first
+        c.enqueue(mk(1, 0));
+        c.enqueue(mk(2, 0));
+        c.enqueue(mk(1, 0)); // duplicate of the first
         let cancelled = c.cancel_queued(RequestId::new(1), 1, 0);
         assert_eq!(cancelled, 2);
+        assert_eq!(c.queue_len(), 1, "tombstones are not live entries");
+        // The survivor pops past the leading tombstone.
+        assert_eq!(c.pop_next_live().unwrap().request, RequestId::new(2));
+        assert_eq!(c.pop_next_live(), None, "only tombstones remained");
+        assert!(c.queue.is_empty());
+    }
+
+    #[test]
+    fn timestamped_cancel_matches_the_linear_scan() {
+        let topo = ServiceTopology::nutch(1);
+        let dep = Deployment::new(&topo, 1);
+        let mut comps = dep.instantiate(&topo);
+        let c = &mut comps[1];
+        let mk = |req: u32, at_ms: u64| QueueItem {
+            request: RequestId::new(req),
+            stage: 1,
+            partition: 0,
+            enqueued_at: SimTime::from_millis(at_ms),
+        };
+        for (req, at) in [(1, 1), (2, 1), (3, 2), (1, 4), (4, 5)] {
+            c.enqueue(mk(req, at));
+        }
+        assert!(c.queue_time_sorted);
+        // Duplicates of request 1 sit at t=1ms and t=4ms; the cancel names
+        // both timestamps and must tombstone exactly those two.
+        let cancelled = c.cancel_queued_at(
+            RequestId::new(1),
+            1,
+            0,
+            [SimTime::from_millis(1), SimTime::from_millis(4)],
+        );
+        assert_eq!(cancelled, 2);
+        assert_eq!(c.queue_len(), 3);
+        // A second identical cancel finds nothing (idempotent).
+        assert_eq!(
+            c.cancel_queued_at(
+                RequestId::new(1),
+                1,
+                0,
+                [SimTime::from_millis(1), SimTime::from_millis(4)],
+            ),
+            0
+        );
+        // MAX sentinels (no reissue) are ignored.
+        assert_eq!(
+            c.cancel_queued_at(
+                RequestId::new(3),
+                1,
+                0,
+                [SimTime::from_millis(2), SimTime::MAX]
+            ),
+            1
+        );
+        let survivors: Vec<u32> = std::iter::from_fn(|| c.pop_next_live())
+            .map(|q| q.request.raw())
+            .collect();
+        assert_eq!(survivors, vec![2, 4]);
+    }
+
+    #[test]
+    fn out_of_order_enqueue_falls_back_to_the_scan() {
+        let topo = ServiceTopology::nutch(1);
+        let dep = Deployment::new(&topo, 1);
+        let mut comps = dep.instantiate(&topo);
+        let c = &mut comps[1];
+        let mk = |req: u32, at_ms: u64| QueueItem {
+            request: RequestId::new(req),
+            stage: 1,
+            partition: 0,
+            enqueued_at: SimTime::from_millis(at_ms),
+        };
+        c.enqueue(mk(1, 5));
+        // A failover keeps its original (older) timestamp.
+        c.enqueue(mk(2, 3));
+        assert!(!c.queue_time_sorted, "out-of-order enqueue breaks the sort");
+        // The timestamped cancel still works: it degrades to the scan, so
+        // even a wrong timestamp cannot miss the duplicate.
+        let cancelled = c.cancel_queued_at(
+            RequestId::new(2),
+            1,
+            0,
+            [SimTime::from_millis(9), SimTime::MAX],
+        );
+        assert_eq!(cancelled, 1);
         assert_eq!(c.queue_len(), 1);
-        assert_eq!(c.queue[0].request, RequestId::new(2));
+    }
+
+    #[test]
+    fn replica_index_closed_form_matches_group_scan() {
+        let topo = ServiceTopology::nutch(5);
+        for replication in [1, 2, 3, 5] {
+            let dep = Deployment::new(&topo, replication);
+            for stage in 0..dep.stage_count() as u32 {
+                for p in 0..dep.partition_count(stage) as u32 {
+                    let group = dep.replicas(stage, p).to_vec();
+                    for (i, c) in group.iter().enumerate() {
+                        assert_eq!(dep.replica_index(stage, p, *c), Some(i));
+                    }
+                    // Non-members of the group (and of the stage) miss.
+                    for ci in 0..dep.component_count() as u32 {
+                        let id = ComponentId::new(ci);
+                        let expected = group.iter().position(|c| *c == id);
+                        assert_eq!(dep.replica_index(stage, p, id), expected);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -188,6 +188,19 @@ impl SimConfig {
                 assert!(!mean_dwell.is_zero(), "MMPP mean dwell must be non-zero");
             }
         }
+        // The event queue packs stage/partition into narrow fields (u8 /
+        // u16) to keep heap entries small; bound the topology to match.
+        assert!(
+            self.topology.stage_count() <= u8::MAX as usize,
+            "topologies are limited to 255 stages"
+        );
+        assert!(
+            self.topology
+                .stages()
+                .iter()
+                .all(|s| s.count <= u16::MAX as usize),
+            "stages are limited to 65535 partitions"
+        );
         assert!(!self.horizon.is_zero(), "horizon must be non-zero");
         assert!(
             self.warmup < self.horizon,

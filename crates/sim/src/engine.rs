@@ -7,8 +7,6 @@
 
 use crate::faults::FaultKind;
 use pcs_types::{ComponentId, JobId, NodeId, RequestId, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,15 +24,20 @@ pub enum Event {
         epoch: u32,
     },
     /// A cancellation message for a queued duplicate arrives at a replica.
+    ///
+    /// Stage and partition are deliberately narrow (`u8`/`u16`, capacity
+    /// asserted by the config validation): these two variants bound the
+    /// `Event` size, and every pending event is moved around the heap on
+    /// each sift, so the width is hot-path real estate.
     CancelArrival {
         /// Replica holding the (possibly still queued) duplicate.
         component: ComponentId,
         /// The request whose duplicate should be cancelled.
         request: RequestId,
         /// The stage the duplicate was dispatched in.
-        stage: u32,
+        stage: u8,
         /// The partition within that stage.
-        partition: u32,
+        partition: u16,
     },
     /// A reissue timer fires: if the partition is still incomplete, send a
     /// duplicate to a backup replica.
@@ -42,9 +45,9 @@ pub enum Event {
         /// The request being watched.
         request: RequestId,
         /// The stage the timer was armed in (stale timers are ignored).
-        stage: u32,
+        stage: u8,
         /// The partition within that stage.
-        partition: u32,
+        partition: u16,
     },
     /// A batch job arrives on a node (and the node's next job is
     /// scheduled).
@@ -84,37 +87,112 @@ pub enum Event {
     },
 }
 
+/// One pending event. The `(time, seq)` pair is compared as a single
+/// assembled `u128` — `time` in the high 64 bits, `seq` in the low — so
+/// the heap's sift pays one wide compare instead of a two-field
+/// lexicographic branch, while the fields stay two `u64`s (8-byte
+/// alignment: a stored `u128` would pad the entry from 40 to 48 bytes).
+/// The packing is order-preserving, so the total order (and therefore
+/// every pop sequence) is exactly the old tuple order.
 #[derive(Debug, PartialEq, Eq)]
 struct Entry {
-    time: SimTime,
+    time_us: u64,
     seq: u64,
     event: Event,
 }
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl Entry {
+    #[inline]
+    fn key(&self) -> u128 {
+        ((self.time_us as u128) << 64) | self.seq as u128
+    }
+
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_micros(self.time_us)
     }
 }
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Children per node of the event heap. A 4-ary heap halves the depth of
+/// the binary heap: pops move entries across half as many levels (the
+/// dominant cost — each level is a 32-byte entry swap plus up-to-4 key
+/// compares on one cache line of keys), and pushes get shallower too.
+/// The pop *order* is heap-shape-independent: keys are unique (`seq`
+/// breaks ties), so every correct min-heap yields the identical event
+/// sequence.
+const HEAP_ARITY: usize = 4;
+
+/// Key marking an empty completion slot (no key can reach it: it would
+/// need both the maximum timestamp and the maximum sequence number).
+const SLOT_EMPTY: u128 = u128::MAX;
+
+/// Completion slots cover component indices below this bound, so the
+/// min-scan on a slot pop touches at most 64 keys (eight cache lines) no
+/// matter how wide the deployment is; completions of higher-indexed
+/// components take the general heap path. Both stores obey the same
+/// `(time, seq)` total order, so the split never changes delivery order.
+const SLOT_LIMIT: usize = 64;
 
 /// A deterministic time-ordered event queue.
-#[derive(Debug, Default)]
+///
+/// Two stores, one total order. [`Event::ServiceCompletion`] dominates
+/// the event stream (every execution is one) and obeys a structural
+/// invariant — each component has **at most one** outstanding completion
+/// (single-server queues; the fault path cancels the stale completion
+/// when a kill vaporises an execution). So completions live in a dense
+/// per-component slot array: scheduling one is a slot write, popping one
+/// is a min-scan over a flat `u128` key vector (components number in the
+/// tens to low hundreds — cheaper than sifting a heap whose traffic they
+/// would otherwise dominate). Everything else (arrivals, timers, ticks,
+/// cancellations) goes through a 4-ary min-heap. `pop` takes whichever
+/// store holds the globally smallest `(time, seq)` key, so the delivery
+/// order is *identical* to a single heap's — keys are unique, and both
+/// stores honour the same total order.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
+    heap: Vec<Entry>,
+    /// Per-component pending-completion key ([`SLOT_EMPTY`] = none).
+    slot_keys: Vec<u128>,
+    /// The epoch carried by each pending completion.
+    slot_epochs: Vec<u32>,
+    /// Cached minimum over `slot_keys` and its index.
+    slot_min: u128,
+    slot_min_comp: usize,
+    /// Number of occupied completion slots.
+    slots_pending: usize,
     seq: u64,
     now: SimTime,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            slot_keys: Vec::new(),
+            slot_epochs: Vec::new(),
+            slot_min: SLOT_EMPTY,
+            slot_min_comp: 0,
+            slots_pending: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
 }
 
 impl EventQueue {
     /// Creates an empty queue at t = 0.
     pub fn new() -> Self {
         EventQueue::default()
+    }
+
+    /// Creates an empty queue with a pre-reserved heap, sized from the
+    /// caller's expected number of concurrently pending events so the
+    /// steady-state event churn never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(capacity),
+            ..EventQueue::default()
+        }
     }
 
     /// The current simulation time (time of the last popped event).
@@ -134,31 +212,158 @@ impl EventQueue {
             "cannot schedule {event:?} at {at} before now ({})",
             self.now
         );
-        self.heap.push(Reverse(Entry {
-            time: at,
-            seq: self.seq,
-            event,
-        }));
+        let seq = self.seq;
         self.seq += 1;
+        let key = ((at.as_micros() as u128) << 64) | seq as u128;
+        if let Event::ServiceCompletion { component, epoch } = event {
+            let ci = component.index();
+            if ci >= SLOT_LIMIT {
+                // Wide deployments: completions beyond the slot window
+                // ride the heap like any other event.
+                self.heap.push(Entry {
+                    time_us: at.as_micros(),
+                    seq,
+                    event,
+                });
+                self.sift_up(self.heap.len() - 1);
+                return;
+            }
+            if ci >= self.slot_keys.len() {
+                self.slot_keys.resize(ci + 1, SLOT_EMPTY);
+                self.slot_epochs.resize(ci + 1, 0);
+            }
+            debug_assert_eq!(
+                self.slot_keys[ci], SLOT_EMPTY,
+                "a single-server component cannot have two pending completions"
+            );
+            self.slot_keys[ci] = key;
+            self.slot_epochs[ci] = epoch;
+            self.slots_pending += 1;
+            if key < self.slot_min {
+                self.slot_min = key;
+                self.slot_min_comp = ci;
+            }
+            return;
+        }
+        self.heap.push(Entry {
+            time_us: at.as_micros(),
+            seq,
+            event,
+        });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Drops the pending completion of a component, if any — the fault
+    /// path calls this when a kill vaporises an in-flight execution (its
+    /// completion would arrive epoch-stale and be ignored anyway), which
+    /// also restores the one-pending-completion-per-component invariant
+    /// before the component serves again.
+    pub fn cancel_completion(&mut self, component: ComponentId) {
+        let ci = component.index();
+        if ci >= self.slot_keys.len() || self.slot_keys[ci] == SLOT_EMPTY {
+            return;
+        }
+        self.slot_keys[ci] = SLOT_EMPTY;
+        self.slots_pending -= 1;
+        if self.slot_min_comp == ci {
+            self.rescan_slot_min();
+        }
+    }
+
+    fn rescan_slot_min(&mut self) {
+        let mut min = SLOT_EMPTY;
+        let mut comp = 0;
+        for (ci, &key) in self.slot_keys.iter().enumerate() {
+            if key < min {
+                min = key;
+                comp = ci;
+            }
+        }
+        self.slot_min = min;
+        self.slot_min_comp = comp;
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(e)| {
-            debug_assert!(e.time >= self.now, "event queue went backwards");
-            self.now = e.time;
-            (e.time, e.event)
-        })
+        let heap_key = self.heap.first().map_or(u128::MAX, Entry::key);
+        if self.slot_min < heap_key {
+            // The globally next event is a completion slot.
+            let ci = self.slot_min_comp;
+            let key = self.slot_min;
+            let epoch = self.slot_epochs[ci];
+            self.slot_keys[ci] = SLOT_EMPTY;
+            self.slots_pending -= 1;
+            self.rescan_slot_min();
+            let time = SimTime::from_micros((key >> 64) as u64);
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            return Some((
+                time,
+                Event::ServiceCompletion {
+                    component: ComponentId::from_index(ci),
+                    epoch,
+                },
+            ));
+        }
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let time = entry.time();
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        Some((time, entry.event))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = i * HEAP_ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            let mut best_key = self.heap[first].key();
+            let last = (first + HEAP_ARITY).min(len);
+            for child in first + 1..last {
+                let key = self.heap[child].key();
+                if key < best_key {
+                    best = child;
+                    best_key = key;
+                }
+            }
+            if best_key < self.heap[i].key() {
+                self.heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.slots_pending
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.slots_pending == 0
     }
 }
 

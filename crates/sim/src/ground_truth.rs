@@ -75,6 +75,13 @@ impl GroundTruth {
         rng: &mut R,
     ) -> f64 {
         let mean = self.mean_service_time(class, u);
+        self.sample_with_mean(class, mean, rng)
+    }
+
+    /// Draws one realised service time around an already-computed mean —
+    /// the hot-path form for callers that memoise
+    /// [`GroundTruth::mean_service_time`] between contention changes.
+    pub fn sample_with_mean<R: Rng + ?Sized>(&self, class: usize, mean: f64, rng: &mut R) -> f64 {
         match &self.classes[class].noise {
             Some(noise) => mean * noise.sample(rng),
             None => mean,

@@ -56,10 +56,12 @@ pub mod request;
 pub mod world;
 
 pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
+pub use engine::{Event, EventQueue};
 pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
 pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};
 pub use policy::{
     BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerHook,
 };
+pub use request::RequestTable;
 pub use world::Simulation;

@@ -134,6 +134,10 @@ pub struct RunReport {
     pub stats: TechniqueStats,
     /// Fault-injection measurements (all-default on an empty fault plan).
     pub faults: FaultReport,
+    /// Discrete events handled over the whole run (arrivals, completions,
+    /// timers, monitor/scheduler ticks, …). Fuels the bench harness's
+    /// events/sec metric; deliberately absent from scenario reports.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -172,17 +176,29 @@ pub(crate) struct Collectors {
     pub evac_sum: f64,
     pub evac_max: f64,
     pub evac_count: u64,
+    /// Pre-sizing hints `(component, overall)` for the latency
+    /// recorders, derived from the run budget.
+    sample_hint: (usize, usize),
 }
 
 impl Collectors {
+    /// Records the expected sample counts (component and overall) so the
+    /// latency recorders are born with capacity instead of growing
+    /// through reallocation during the run.
+    pub fn preallocate(&mut self, component_hint: usize, overall_hint: usize) {
+        self.sample_hint = (component_hint, overall_hint);
+        self.component_latency = LatencyRecorder::with_capacity(component_hint);
+        self.overall_latency = LatencyRecorder::with_capacity(overall_hint);
+    }
+
     /// Clears measured data at the end of warm-up (counters for
     /// mechanism totals keep accumulating from zero again). Fault
     /// counters and evacuation latencies deliberately survive the reset
     /// — see [`FaultStats`] — while the per-phase latency windows are
     /// cleared like every other latency sample.
     pub fn reset_for_measurement(&mut self) {
-        self.component_latency = LatencyRecorder::new();
-        self.overall_latency = LatencyRecorder::new();
+        self.component_latency = LatencyRecorder::with_capacity(self.sample_hint.0);
+        self.overall_latency = LatencyRecorder::with_capacity(self.sample_hint.1);
         self.stats = TechniqueStats::default();
         self.phase_latency = Default::default();
     }
@@ -232,6 +248,7 @@ mod tests {
             overall_latency: rec.summary(),
             stats: TechniqueStats::default(),
             faults: FaultReport::default(),
+            events_processed: 0,
         };
         assert!((report.component_p99_ms() - 99.01).abs() < 0.1);
         assert!((report.overall_mean_ms() - 50.5).abs() < 0.01);

@@ -43,6 +43,16 @@ pub trait DispatchPolicy {
     /// disables reissue.
     fn reissue_delay(&mut self, class: usize) -> Option<SimDuration>;
 
+    /// Whether this policy can *ever* reissue (i.e.
+    /// [`DispatchPolicy::reissue_delay`] may return `Some` at some point
+    /// in the run). The default is conservatively `true`; policies that
+    /// never reissue (Basic, RED-k) override to `false`, which lets the
+    /// fault-free simulator prove certain cancellation messages are
+    /// no-ops and skip scheduling them.
+    fn reissues(&self) -> bool {
+        true
+    }
+
     /// Observes a completed (winning) sub-request latency of a class, so
     /// adaptive policies can update their expected-latency estimates.
     fn observe_latency(&mut self, class: usize, latency: SimDuration);
@@ -77,6 +87,10 @@ impl DispatchPolicy for BasicPolicy {
 
     fn reissue_delay(&mut self, _class: usize) -> Option<SimDuration> {
         None
+    }
+
+    fn reissues(&self) -> bool {
+        false
     }
 
     fn observe_latency(&mut self, _class: usize, _latency: SimDuration) {}
@@ -175,6 +189,17 @@ pub struct MigrationRequest {
 pub trait SchedulerHook {
     /// Inspects the interval's monitoring data and orders migrations.
     fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest>;
+
+    /// Whether this hook reads the [`SchedulerContext`] at all. The
+    /// default is `true`; a hook that provably ignores its input (the
+    /// no-op scheduler of every non-migrating technique) overrides to
+    /// `false`, letting the simulator skip assembling the context —
+    /// component metas, drained sample windows, rate and SCV estimates —
+    /// at every interval. Skipping is observation-free: none of those
+    /// derivations touch the RNG or mutate simulation state.
+    fn wants_context(&self) -> bool {
+        true
+    }
 }
 
 /// A hook that never migrates anything (Basic, RED-k, RI-p).
@@ -184,6 +209,10 @@ pub struct NoopScheduler;
 impl SchedulerHook for NoopScheduler {
     fn on_interval(&mut self, _ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
         Vec::new()
+    }
+
+    fn wants_context(&self) -> bool {
+        false
     }
 }
 

@@ -6,8 +6,14 @@
 //! wins). When all partitions of a stage have answered, the next stage
 //! begins; after the last stage the request completes and its overall
 //! latency is `completion − arrival` (the paper's second metric).
+//!
+//! Requests are stored in a [`RequestTable`]: a sliding window keyed by
+//! the **sequential** [`RequestId`] — ids are handed out in arrival order
+//! and every lookup is a bounds check plus an index, so the per-event hot
+//! paths (arrival, completion, reissue, cancellation) never hash.
 
 use pcs_types::{RequestId, SimTime};
+use std::collections::VecDeque;
 
 /// Progress of one partition within the request's current stage.
 #[derive(Debug, Clone, Copy)]
@@ -21,9 +27,35 @@ pub struct PartitionProgress {
     pub used_mask: u8,
     /// When the partition's first dispatch happened.
     pub dispatched_at: SimTime,
+    /// When a reissue timer last duplicated this partition's sub-request
+    /// ([`SimTime::MAX`] until one fires). Together with `dispatched_at`
+    /// this enumerates every enqueue time a still-queued duplicate of the
+    /// partition can carry, which is what lets cancellation binary-search
+    /// component queues instead of scanning them.
+    pub reissued_at: SimTime,
+    /// Bitmask of replica-group indices whose duplicate **may** still be
+    /// waiting in its component's queue (set on enqueue, cleared on
+    /// service start and on cancellation). A conservative
+    /// over-approximation maintained only on fault-free replicated runs:
+    /// a clear bit proves there is nothing to cancel at that replica, so
+    /// the cancellation paths skip even the binary search; a stale set
+    /// bit merely costs the search.
+    pub queued_mask: u8,
 }
 
 impl PartitionProgress {
+    /// Fresh progress for a partition first dispatched at `at`.
+    pub fn fresh(at: SimTime) -> Self {
+        PartitionProgress {
+            done: false,
+            replicas_used: 0,
+            used_mask: 0,
+            dispatched_at: at,
+            reissued_at: SimTime::MAX,
+            queued_mask: 0,
+        }
+    }
+
     /// Marks replica-group index `i` as targeted.
     pub fn mark_used(&mut self, i: usize) {
         debug_assert!(i < 8, "replica groups are limited to 8 instances");
@@ -61,15 +93,7 @@ impl ActiveRequest {
             id,
             arrived,
             stage: 0,
-            partitions: vec![
-                PartitionProgress {
-                    done: false,
-                    replicas_used: 0,
-                    used_mask: 0,
-                    dispatched_at: arrived,
-                };
-                partition_count
-            ],
+            partitions: vec![PartitionProgress::fresh(arrived); partition_count],
             pending: partition_count as u32,
         }
     }
@@ -78,15 +102,8 @@ impl ActiveRequest {
     pub fn enter_stage(&mut self, stage: u32, partition_count: usize, now: SimTime) {
         self.stage = stage;
         self.partitions.clear();
-        self.partitions.resize(
-            partition_count,
-            PartitionProgress {
-                done: false,
-                replicas_used: 0,
-                used_mask: 0,
-                dispatched_at: now,
-            },
-        );
+        self.partitions
+            .resize(partition_count, PartitionProgress::fresh(now));
         self.pending = partition_count as u32;
     }
 
@@ -109,6 +126,116 @@ impl ActiveRequest {
     }
 }
 
+/// How many finished partition buffers the table keeps for reuse.
+const SPARE_BUFFERS: usize = 64;
+
+/// The in-flight request table: a sliding window over sequential ids.
+///
+/// Ids are allocated monotonically by [`RequestTable::insert_next`];
+/// completed (or lost) requests free their slot, and the window's head
+/// advances past any completed prefix, so memory tracks the number of
+/// requests actually in flight, not the total ever admitted. Every
+/// operation is O(1) (amortised for the head advance) — this is the
+/// replacement for the old `HashMap<u32, ActiveRequest>`, which paid a
+/// SipHash per lookup on every arrival/completion/reissue/cancel.
+///
+/// Partition-progress buffers of removed requests are recycled into new
+/// ones, so steady-state request churn allocates nothing.
+#[derive(Debug, Default)]
+pub struct RequestTable {
+    /// Id of the slot at the front of `slots`.
+    head: u32,
+    /// The window; `None` marks a freed slot awaiting head advance.
+    slots: VecDeque<Option<ActiveRequest>>,
+    /// Number of live requests in the window.
+    live: usize,
+    /// Recycled partition buffers.
+    spare: Vec<Vec<PartitionProgress>>,
+}
+
+impl RequestTable {
+    /// Creates an empty table handing out ids from 0.
+    pub fn new() -> Self {
+        RequestTable::default()
+    }
+
+    /// Admits the next request, returning its (sequential) id.
+    pub fn insert_next(&mut self, arrived: SimTime, partition_count: usize) -> RequestId {
+        let id = RequestId::new(self.head.wrapping_add(self.slots.len() as u32));
+        let mut partitions = self.spare.pop().unwrap_or_default();
+        partitions.clear();
+        partitions.resize(partition_count, PartitionProgress::fresh(arrived));
+        self.slots.push_back(Some(ActiveRequest {
+            id,
+            arrived,
+            stage: 0,
+            partitions,
+            pending: partition_count as u32,
+        }));
+        self.live += 1;
+        id
+    }
+
+    #[inline]
+    fn offset(&self, id: RequestId) -> Option<usize> {
+        let offset = id.raw().wrapping_sub(self.head) as usize;
+        (offset < self.slots.len()).then_some(offset)
+    }
+
+    /// The request, if still in flight.
+    #[inline]
+    pub fn get(&self, id: RequestId) -> Option<&ActiveRequest> {
+        self.slots[self.offset(id)?].as_ref()
+    }
+
+    /// The request, mutably, if still in flight.
+    #[inline]
+    pub fn get_mut(&mut self, id: RequestId) -> Option<&mut ActiveRequest> {
+        let offset = self.offset(id)?;
+        self.slots[offset].as_mut()
+    }
+
+    /// True while the request is in flight.
+    #[inline]
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Removes a request (completion or loss). Returns whether it was
+    /// still in flight.
+    pub fn remove(&mut self, id: RequestId) -> bool {
+        let Some(offset) = self.offset(id) else {
+            return false;
+        };
+        let Some(request) = self.slots[offset].take() else {
+            return false;
+        };
+        self.live -= 1;
+        if self.spare.len() < SPARE_BUFFERS {
+            self.spare.push(request.partitions);
+        }
+        // Advance the head past the completed prefix so the window stays
+        // as tight as the oldest in-flight request.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.head = self.head.wrapping_add(1);
+        }
+        true
+    }
+
+    /// Number of requests currently in flight.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when nothing is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +254,7 @@ mod tests {
         assert_eq!(r.stage, 1);
         assert_eq!(r.pending, 2);
         assert!(!r.partitions[0].done);
+        assert_eq!(r.partitions[0].reissued_at, SimTime::MAX);
     }
 
     #[test]
@@ -135,5 +263,74 @@ mod tests {
         assert!(r.complete_partition(0));
         assert!(!r.complete_partition(0), "second response is a duplicate");
         assert!(r.stage_complete());
+    }
+
+    #[test]
+    fn table_hands_out_sequential_ids_and_slides_its_window() {
+        let mut table = RequestTable::new();
+        let a = table.insert_next(SimTime::ZERO, 1);
+        let b = table.insert_next(SimTime::from_millis(1), 2);
+        let c = table.insert_next(SimTime::from_millis(2), 1);
+        assert_eq!((a.raw(), b.raw(), c.raw()), (0, 1, 2));
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(b).unwrap().partitions.len(), 2);
+
+        // Out-of-order completion: the window only slides past a
+        // completed prefix.
+        assert!(table.remove(b));
+        assert_eq!(table.len(), 2);
+        assert!(table.get(b).is_none());
+        assert!(table.contains(a) && table.contains(c));
+        assert!(table.remove(a));
+        assert!(table.remove(c));
+        assert!(table.is_empty());
+
+        // Ids keep counting up after the window empties.
+        let d = table.insert_next(SimTime::from_millis(3), 1);
+        assert_eq!(d.raw(), 3);
+    }
+
+    #[test]
+    fn removing_twice_or_unknown_is_harmless() {
+        let mut table = RequestTable::new();
+        let a = table.insert_next(SimTime::ZERO, 1);
+        assert!(table.remove(a));
+        assert!(!table.remove(a), "second remove is a no-op");
+        assert!(!table.remove(RequestId::new(999)));
+        assert!(table.get_mut(RequestId::new(999)).is_none());
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_start_fresh() {
+        let mut table = RequestTable::new();
+        let a = table.insert_next(SimTime::ZERO, 4);
+        table.get_mut(a).unwrap().partitions[2].mark_used(1);
+        table.get_mut(a).unwrap().complete_partition(2);
+        assert!(table.remove(a));
+        // The next request reuses the buffer but must see pristine state.
+        let b = table.insert_next(SimTime::from_millis(5), 3);
+        let r = table.get(b).unwrap();
+        assert_eq!(r.partitions.len(), 3);
+        assert!(r.partitions.iter().all(|p| !p.done && p.used_mask == 0));
+        assert!(r
+            .partitions
+            .iter()
+            .all(|p| p.dispatched_at == SimTime::from_millis(5)));
+        assert_eq!(r.pending, 3);
+    }
+
+    #[test]
+    fn window_stays_tight_under_fifo_churn() {
+        let mut table = RequestTable::new();
+        let mut ids = VecDeque::new();
+        for i in 0..10_000u64 {
+            ids.push_back(table.insert_next(SimTime::from_micros(i), 1));
+            if ids.len() > 8 {
+                assert!(table.remove(ids.pop_front().unwrap()));
+            }
+            assert!(table.slots.len() <= 9, "window must not grow under FIFO");
+        }
+        assert_eq!(table.len(), 8);
     }
 }

@@ -10,13 +10,43 @@ use crate::ground_truth::GroundTruth;
 use crate::metrics::{Collectors, FaultPhase, RunReport};
 use crate::placement;
 use crate::policy::{ComponentMeta, DispatchPolicy, SchedulerContext, SchedulerHook};
-use crate::request::ActiveRequest;
+use crate::request::RequestTable;
 use pcs_monitor::{ArrivalRateEstimator, ContentionSampler, ServiceTimeWindow};
 use pcs_types::{ComponentId, NodeId, RequestId, ResourceVector, SimDuration, SimTime};
 use pcs_workloads::{ArrivalProcess, BatchJobGenerator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+
+/// Reusable scheduler-context buffers, refilled at every interval so the
+/// tick assembles its [`SchedulerContext`] without fresh allocations.
+#[derive(Debug, Default)]
+struct CtxBuffers {
+    metas: Vec<ComponentMeta>,
+    windows: Vec<Vec<pcs_types::ContentionVector>>,
+    rates: Vec<f64>,
+    scvs: Vec<f64>,
+    demands: Vec<ResourceVector>,
+    /// Node capacities never change mid-run: filled once at construction.
+    caps: Vec<pcs_types::NodeCapacity>,
+    status: Vec<crate::faults::NodeStatus>,
+}
+
+/// The empty [`SchedulerContext`] handed (in debug builds) to hooks that
+/// declared they ignore their input, to assert they really do.
+fn empty_context(now: SimTime) -> SchedulerContext<'static> {
+    SchedulerContext {
+        now,
+        components: &[],
+        node_capacities: &[],
+        sampled_windows: &[],
+        arrival_rates: &[],
+        service_scv: &[],
+        stage_count: 0,
+        ground_truth_demand: &[],
+        node_status: &[],
+        replica_peers: &[],
+    }
+}
 
 /// A configured, runnable simulation.
 pub struct Simulation {
@@ -27,8 +57,7 @@ pub struct Simulation {
     ground_truth: GroundTruth,
     deployment: Deployment,
     comps: Vec<PhysicalComponent>,
-    requests: HashMap<u32, ActiveRequest>,
-    next_request: u32,
+    requests: RequestTable,
     policy: Box<dyn DispatchPolicy>,
     hook: Box<dyn SchedulerHook>,
     arrivals: Box<dyn ArrivalProcess + Send>,
@@ -53,10 +82,29 @@ pub struct Simulation {
     end_cap: SimTime,
     /// Time of the previous monitor tick (utilisation-window boundary).
     last_monitor_tick: SimTime,
+    /// Whether provably no-op cancellation messages may be skipped:
+    /// true for fault-free runs of never-reissuing policies (RED-k),
+    /// where a duplicate absent from a sibling's queue *now* can never
+    /// reappear before the cancellation would arrive.
+    skip_noop_cancels: bool,
+    /// Whether the per-partition queued-duplicate masks are maintained:
+    /// fault-free replicated runs only (failover re-enqueues would make
+    /// a clear bit unsound). A clear bit lets every cancellation path
+    /// prove "nothing queued" in O(1); stale set bits merely cost the
+    /// binary search they would have done anyway.
+    track_queued_mask: bool,
+    /// Per component: memoised mean service time, valid while the
+    /// hosting node's demand version is unchanged (`(node, version,
+    /// mean)`); `u64::MAX` marks empty. The mean is a pure function of
+    /// (class, node contention), so replaying it is bit-identical to
+    /// recomputing the slowdown curve.
+    mean_cache: Vec<(NodeId, u64, f64)>,
     /// Number of currently killed nodes (0 on the fault-free fast path).
     down_nodes: usize,
     /// Whether any kill has struck yet (fault-phase classification).
     kills_seen: bool,
+    /// Reusable scheduler-context buffers.
+    ctx_bufs: CtxBuffers,
 }
 
 impl Simulation {
@@ -160,14 +208,21 @@ impl Simulation {
             }
         }
 
+        // Pre-reserve the event heap for the steady-state pending set:
+        // one in-service completion per component, per-node batch churn,
+        // timers and the periodic ticks — so event scheduling never
+        // reallocates mid-run.
+        let queue = EventQueue::with_capacity(1024 + 4 * m + config.node_count);
+        let skip_noop_cancels = config.faults.is_empty() && !policy.reissues();
+        let track_queued_mask = config.faults.is_empty() && deployment.replication() > 1;
+        let mean_cache = vec![(NodeId::new(0), u64::MAX, 0.0); m];
         let mut world = Simulation {
-            queue: EventQueue::new(),
+            queue,
             cluster,
             ground_truth,
             deployment,
             comps,
-            requests: HashMap::new(),
-            next_request: 0,
+            requests: RequestTable::new(),
             policy,
             hook,
             arrivals,
@@ -185,12 +240,32 @@ impl Simulation {
             replica_peers,
             end_cap,
             last_monitor_tick: SimTime::ZERO,
+            skip_noop_cancels,
+            track_queued_mask,
+            mean_cache,
             down_nodes: 0,
             kills_seen: false,
+            ctx_bufs: CtxBuffers::default(),
             config,
             rng: SmallRng::seed_from_u64(0), // replaced below
         };
+        world.ctx_bufs.caps = world.cluster.capacities();
+        world.ctx_bufs.windows = vec![Vec::new(); world.config.node_count];
         world.rng = std::mem::replace(&mut rng, SmallRng::seed_from_u64(0));
+
+        // Latency recorders sized from the run budget: arrivals over the
+        // horizon, fanned out per stage partition for the component
+        // metric (capped so a degenerate config cannot pre-allocate
+        // gigabytes — the cap only costs a few doublings).
+        let expected_requests = (world.config.arrival_rate * world.config.horizon.as_secs_f64())
+            .min(4_000_000.0) as usize;
+        let fanout: usize = (0..world.deployment.stage_count())
+            .map(|s| world.deployment.partition_count(s as u32))
+            .sum();
+        let component_hint = expected_requests.saturating_mul(fanout).min(4 << 20);
+        world
+            .collectors
+            .preallocate(component_hint, expected_requests);
 
         // Components start idle: their demand contribution (own demand ×
         // utilisation) is zero until they serve traffic; the monitor ticks
@@ -249,10 +324,12 @@ impl Simulation {
 
     /// Runs the simulation to completion and returns the measured report.
     pub fn run(mut self) -> RunReport {
+        let mut events_processed: u64 = 0;
         while let Some((t, event)) = self.queue.pop() {
             if t > self.end_cap {
                 break;
             }
+            events_processed += 1;
             self.handle(event);
         }
         self.collectors.stats.requests_censored = self.requests.len() as u64;
@@ -270,6 +347,7 @@ impl Simulation {
             overall_latency: self.collectors.overall_latency.summary(),
             stats: self.collectors.stats,
             faults: self.collectors.fault_report(unresolved_orphans),
+            events_processed,
         }
     }
 
@@ -293,16 +371,12 @@ impl Simulation {
                 request,
                 stage,
                 partition,
-            } => {
-                let removed =
-                    self.comps[component.index()].cancel_queued(request, stage, partition);
-                self.collectors.stats.cancelled_duplicates += removed as u64;
-            }
+            } => self.on_cancel_arrival(component, request, stage as u32, partition as u32),
             Event::ReissueTimer {
                 request,
                 stage,
                 partition,
-            } => self.on_reissue(request, stage, partition),
+            } => self.on_reissue(request, stage as u32, partition as u32),
             Event::BatchArrival { node } => self.on_batch_arrival(node),
             Event::BatchDeparture { node, job } => {
                 // A node kill vaporises resident jobs while their
@@ -328,11 +402,8 @@ impl Simulation {
 
     fn on_request_arrival(&mut self) {
         let now = self.queue.now();
-        let id = RequestId::new(self.next_request);
-        self.next_request += 1;
         let partitions = self.deployment.partition_count(0);
-        self.requests
-            .insert(id.raw(), ActiveRequest::new(id, now, partitions));
+        let id = self.requests.insert_next(now, partitions);
         for p in 0..partitions {
             self.dispatch_partition(id, 0, p as u32);
         }
@@ -376,12 +447,13 @@ impl Simulation {
         self.live_buf = live;
         debug_assert!(!self.target_buf.is_empty(), "policy must pick a target");
 
-        if let Some(req) = self.requests.get_mut(&request.raw()) {
+        let group_len = group.len();
+        if let Some(req) = self.requests.get_mut(request) {
             let p = &mut req.partitions[partition as usize];
             for target in &self.target_buf {
-                let idx = group
-                    .iter()
-                    .position(|c| c == target)
+                let idx = self
+                    .deployment
+                    .replica_index(stage, partition, *target)
                     .expect("policy targets must belong to the replica group");
                 p.mark_used(idx);
             }
@@ -395,21 +467,64 @@ impl Simulation {
             partition,
             enqueued_at: now,
         };
+        // Two-phase fan-out: every busy target queues its duplicate
+        // first, then the idle targets begin service (in target order).
+        // The interleaving is observably identical to enqueue-then-begin
+        // per target — begin_service never reads sibling queues except
+        // for the no-op-cancel proof, RNG draws keep their order, and
+        // the schedule() sequence is unchanged — but it means that by
+        // the time a replica starts, every sibling duplicate of this
+        // fan-out is already visible, so the proof is race-free even
+        // within the dispatching event.
+        let mut queued_bits: u8 = 0;
         for &t in &targets {
-            self.enqueue_sub(t, item);
+            self.rate_estimators[t.index()].record(now);
+            let ci = t.index();
+            debug_assert!(
+                self.cluster.is_alive(self.comps[ci].node),
+                "a killed node must receive zero new work"
+            );
+            if self.comps[ci].in_service.is_some() {
+                self.comps[ci].enqueue(item);
+                if self.track_queued_mask {
+                    let idx = self
+                        .deployment
+                        .replica_index(stage, partition, t)
+                        .expect("targets belong to the group");
+                    queued_bits |= 1 << idx;
+                }
+            }
+        }
+        if queued_bits != 0 {
+            if let Some(req) = self.requests.get_mut(request) {
+                req.partitions[partition as usize].queued_mask |= queued_bits;
+            }
+        }
+        for &t in &targets {
+            let ci = t.index();
+            if self.comps[ci].in_service.is_none() {
+                self.begin_service(ci, item);
+            }
         }
         self.target_buf = targets;
 
         let class = self.stage_class[stage as usize];
         if let Some(delay) = self.policy.reissue_delay(class) {
-            self.queue.schedule(
-                now + delay,
-                Event::ReissueTimer {
-                    request,
-                    stage,
-                    partition,
-                },
-            );
+            // A singleton replica group has no backup to reissue to: the
+            // timer's handler would be a guaranteed no-op, so it is never
+            // scheduled (removing an event cannot reorder the remaining
+            // ones — their timestamps and relative insertion order are
+            // untouched).
+            if group_len > 1 {
+                self.queue.schedule(
+                    now + delay,
+                    Event::ReissueTimer {
+                        request,
+                        stage: stage as u8,
+                        partition: partition as u16,
+                    },
+                );
+            }
         }
     }
 
@@ -424,7 +539,7 @@ impl Simulation {
         if self.comps[ci].in_service.is_none() {
             self.begin_service(ci, item);
         } else {
-            self.comps[ci].queue.push_back(item);
+            self.comps[ci].enqueue(item);
         }
     }
 
@@ -435,10 +550,24 @@ impl Simulation {
             self.cluster.is_alive(node),
             "a dead node's component must never begin service"
         );
-        let u = self.cluster.contention(node);
+        // The expected service time is a pure function of (class, node
+        // contention); it is memoised per component against the node's
+        // demand version, so back-to-back executions between demand
+        // changes skip the slowdown-curve evaluation entirely.
+        let version = self.cluster.demand_version(node);
+        let class = self.comps[ci].class;
+        let cached = self.mean_cache[ci];
+        let mean = if cached.0 == node && cached.1 == version {
+            cached.2
+        } else {
+            let u = self.cluster.contention(node);
+            let mean = self.ground_truth.mean_service_time(class, &u);
+            self.mean_cache[ci] = (node, version, mean);
+            mean
+        };
         let x = self
             .ground_truth
-            .sample_service_time(self.comps[ci].class, &u, &mut self.rng);
+            .sample_with_mean(class, mean, &mut self.rng);
         self.service_windows[ci].record(x);
         self.comps[ci].in_service = Some(InFlight {
             item,
@@ -453,6 +582,29 @@ impl Simulation {
             },
         );
 
+        // This instance has left its queue (or never entered one): drop
+        // its bit from the partition's queued-duplicate mask, so the
+        // cancellation paths know there is nothing of it left to cancel.
+        let queued_mask = if self.track_queued_mask {
+            match self.requests.get_mut(item.request) {
+                Some(req) if req.stage == item.stage => {
+                    let p = &mut req.partitions[item.partition as usize];
+                    let idx = self
+                        .deployment
+                        .replica_index(item.stage, item.partition, id)
+                        .expect("serving component belongs to the group");
+                    p.queued_mask &= !(1 << idx);
+                    p.queued_mask
+                }
+                // A wasted duplicate of a finished request/stage: its
+                // siblings' duplicates are provably gone too (fault-free
+                // invariant), so nothing needs cancelling.
+                _ => 0,
+            }
+        } else {
+            u8::MAX
+        };
+
         // Redundancy cancellation: tell sibling replicas to drop their
         // queued duplicates. The message takes `cancel_delay` to arrive —
         // replicas that start within that window still execute (the race
@@ -460,18 +612,37 @@ impl Simulation {
         if self.policy.cancel_on_start() {
             let group = self.deployment.replicas(item.stage, item.partition);
             if group.len() > 1 {
-                for &other in group {
-                    if other != id {
-                        self.queue.schedule(
-                            now + self.config.cancel_delay,
-                            Event::CancelArrival {
-                                component: other,
-                                request: item.request,
-                                stage: item.stage,
-                                partition: item.partition,
-                            },
-                        );
+                for (idx, &other) in group.iter().enumerate() {
+                    if other == id {
+                        continue;
                     }
+                    // Fault-free, never-reissuing runs can prove a
+                    // cancellation no-op at scheduling time: every
+                    // duplicate of this fan-out is already visible (the
+                    // two-phase dispatch guarantees it), no mechanism can
+                    // enqueue another later, and the queued-duplicate
+                    // mask says whether the sibling still holds one. A
+                    // clear bit means the message would remove nothing —
+                    // it is not scheduled at all, which cannot reorder
+                    // the surviving events.
+                    if self.skip_noop_cancels && queued_mask & (1 << idx) == 0 {
+                        debug_assert!(!self.comps[other.index()].has_queued_duplicate_at(
+                            item.request,
+                            item.stage,
+                            item.partition,
+                            item.enqueued_at,
+                        ));
+                        continue;
+                    }
+                    self.queue.schedule(
+                        now + self.config.cancel_delay,
+                        Event::CancelArrival {
+                            component: other,
+                            request: item.request,
+                            stage: item.stage as u8,
+                            partition: item.partition as u16,
+                        },
+                    );
                 }
             }
         }
@@ -497,8 +668,9 @@ impl Simulation {
         self.comps[ci].executions += 1;
         self.collectors.stats.executions += 1;
 
-        // Work conservation: immediately start the next queued item.
-        if let Some(next) = self.comps[ci].queue.pop_front() {
+        // Work conservation: immediately start the next queued item
+        // (skipping any tombstoned cancellations on the way).
+        if let Some(next) = self.comps[ci].pop_next_live() {
             self.begin_service(ci, next);
         }
 
@@ -508,7 +680,7 @@ impl Simulation {
     fn handle_response(&mut self, component: ComponentId, inflight: InFlight) {
         let now = self.queue.now();
         let item = inflight.item;
-        let Some(req) = self.requests.get_mut(&item.request.raw()) else {
+        let Some(req) = self.requests.get_mut(item.request) else {
             // Request already completed (or was never tracked): a wasted
             // duplicate execution.
             self.collectors.stats.wasted_executions += 1;
@@ -518,6 +690,13 @@ impl Simulation {
             self.collectors.stats.wasted_executions += 1;
             return;
         }
+        // Everything later needed from the request comes out of this one
+        // borrow: stage completion, and the partition's enqueue
+        // timestamps (which locate its still-queued duplicates without a
+        // scan).
+        let progress = req.partitions[item.partition as usize];
+        let cancel_times = [progress.dispatched_at, progress.reissued_at];
+        let stage_done = req.stage_complete();
 
         // Winning response: the paper's component-latency metric is the
         // quickest replica's dispatch→response time.
@@ -536,28 +715,117 @@ impl Simulation {
 
         // Drop still-queued duplicates at sibling replicas (the response
         // has been used; only in-flight executions can still waste work).
+        // On tracked runs the queued-duplicate mask says exactly which
+        // siblings still hold one: clear bits skip even the binary
+        // search, and afterwards the partition provably has nothing
+        // queued anywhere, so the mask zeroes.
         let group = self.deployment.replicas(item.stage, item.partition);
         if group.len() > 1 {
-            let siblings: Vec<ComponentId> =
-                group.iter().copied().filter(|&c| c != component).collect();
-            for other in siblings {
-                let removed = self.comps[other.index()].cancel_queued(
+            for (idx, &other) in group.iter().enumerate() {
+                if other == component {
+                    continue;
+                }
+                if self.track_queued_mask && progress.queued_mask & (1 << idx) == 0 {
+                    debug_assert_eq!(
+                        self.comps[other.index()].cancel_queued_at(
+                            item.request,
+                            item.stage,
+                            item.partition,
+                            cancel_times,
+                        ),
+                        0,
+                        "a clear queued bit must mean nothing is queued"
+                    );
+                    continue;
+                }
+                let removed = self.comps[other.index()].cancel_queued_at(
                     item.request,
                     item.stage,
                     item.partition,
+                    cancel_times,
                 );
                 self.collectors.stats.cancelled_duplicates += removed as u64;
             }
+            if self.track_queued_mask && progress.queued_mask != 0 {
+                if let Some(req) = self.requests.get_mut(item.request) {
+                    req.partitions[item.partition as usize].queued_mask = 0;
+                }
+            }
         }
 
-        let stage_done = self
-            .requests
-            .get(&item.request.raw())
-            .map(|r| r.stage_complete())
-            .unwrap_or(false);
         if stage_done {
             self.advance_stage(item.request);
         }
+    }
+
+    /// Delivers a delayed cancellation message: tombstones the queued
+    /// duplicate of `(request, stage, partition)` at `component`, if one
+    /// is still waiting.
+    ///
+    /// While the request is still in the dispatching stage, the
+    /// duplicate's possible enqueue times are on record (dispatch and
+    /// reissue timestamps), so the queue is binary-searched. Once the
+    /// request has moved on — or completed — a fault-free run provably
+    /// has nothing left to cancel (the winning response already
+    /// tombstoned every sibling duplicate), so the message is dropped
+    /// without touching the queue; only fault runs, where failover can
+    /// strand extra duplicates, pay the full scan.
+    fn on_cancel_arrival(
+        &mut self,
+        component: ComponentId,
+        request: RequestId,
+        stage: u32,
+        partition: u32,
+    ) {
+        // Borrow discipline: copy the (tiny) partition state out of the
+        // request first, then operate on the component queue.
+        let current = self
+            .requests
+            .get(request)
+            .filter(|req| req.stage == stage)
+            .map(|req| req.partitions[partition as usize]);
+        let removed = match current {
+            Some(p) => {
+                let times = [p.dispatched_at, p.reissued_at];
+                let idx = self
+                    .deployment
+                    .replica_index(stage, partition, component)
+                    .expect("cancellations target group members");
+                if self.track_queued_mask && p.queued_mask & (1 << idx) == 0 {
+                    // The mask proves the duplicate is no longer queued
+                    // (started, finished or already cancelled): skip the
+                    // search.
+                    debug_assert_eq!(
+                        self.comps[component.index()]
+                            .cancel_queued_at(request, stage, partition, times),
+                        0
+                    );
+                    0
+                } else {
+                    let removed = self.comps[component.index()]
+                        .cancel_queued_at(request, stage, partition, times);
+                    if self.track_queued_mask && removed > 0 {
+                        if let Some(req) = self.requests.get_mut(request) {
+                            req.partitions[partition as usize].queued_mask &= !(1 << idx);
+                        }
+                    }
+                    removed
+                }
+            }
+            None => {
+                if self.config.faults.is_empty() {
+                    debug_assert_eq!(
+                        self.comps[component.index()].cancel_queued(request, stage, partition),
+                        0,
+                        "a fault-free run leaves no duplicate behind a finished stage"
+                    );
+                    0
+                } else {
+                    self.comps[component.index()].cancel_queued(request, stage, partition)
+                }
+            }
+        };
+        self.collectors.stats.cancelled_duplicates += removed as u64;
     }
 
     fn advance_stage(&mut self, request: RequestId) {
@@ -565,7 +833,7 @@ impl Simulation {
         let stage_count = self.deployment.stage_count() as u32;
         let req = self
             .requests
-            .get_mut(&request.raw())
+            .get_mut(request)
             .expect("advancing unknown request");
         let next = req.stage + 1;
         if next == stage_count {
@@ -574,7 +842,7 @@ impl Simulation {
                 self.collectors.overall_latency.record(total);
             }
             self.collectors.stats.requests_completed += 1;
-            self.requests.remove(&request.raw());
+            self.requests.remove(request);
             return;
         }
         let partitions = self.deployment.partition_count(next);
@@ -585,7 +853,8 @@ impl Simulation {
     }
 
     fn on_reissue(&mut self, request: RequestId, stage: u32, partition: u32) {
-        let Some(req) = self.requests.get_mut(&request.raw()) else {
+        let now = self.queue.now();
+        let Some(req) = self.requests.get_mut(request) else {
             return;
         };
         if req.stage != stage {
@@ -602,19 +871,27 @@ impl Simulation {
         while let Some(idx) = p.next_unused(group.len()) {
             p.mark_used(idx);
             if self.cluster.is_alive(self.comps[group[idx].index()].node) {
-                target = Some(group[idx]);
+                target = Some((group[idx], idx));
                 break;
             }
         }
-        let Some(target) = target else {
+        let Some((target, idx)) = target else {
             return; // no live unused replica left
         };
+        // Record the duplicate's enqueue time so a later cancellation can
+        // locate it by binary search instead of scanning, and — when the
+        // duplicate will actually wait in a queue — its bit in the
+        // queued-duplicate mask.
+        p.reissued_at = now;
+        if self.track_queued_mask && self.comps[target.index()].in_service.is_some() {
+            p.queued_mask |= 1 << idx;
+        }
         self.collectors.stats.reissues += 1;
         let item = QueueItem {
             request,
             stage,
             partition,
-            enqueued_at: self.queue.now(),
+            enqueued_at: now,
         };
         self.enqueue_sub(target, item);
     }
@@ -624,7 +901,7 @@ impl Simulation {
     /// Later responses for it count as wasted executions; stale reissue
     /// timers and cancellations already tolerate missing requests.
     fn lose_request(&mut self, request: RequestId) {
-        if self.requests.remove(&request.raw()).is_some() {
+        if self.requests.remove(request) {
             self.collectors.fault_stats.requests_lost += 1;
         }
     }
@@ -632,7 +909,7 @@ impl Simulation {
     /// Handles one sub-request disrupted by a node kill, per the
     /// configured [`FailoverPolicy`].
     fn fail_over(&mut self, item: QueueItem) {
-        if !self.requests.contains_key(&item.request.raw()) {
+        if !self.requests.contains(item.request) {
             return; // already completed or lost
         }
         match self.config.failover {
@@ -684,9 +961,22 @@ impl Simulation {
                     c.utilization = 0.0;
                     c.contribution = ResourceVector::ZERO;
                     if let Some(inflight) = c.in_service.take() {
+                        // Drop the now-stale completion from the queue's
+                        // per-component slot (it would be ignored by the
+                        // epoch fence anyway), keeping the slot free for
+                        // the component's next service start.
+                        self.queue.cancel_completion(c.id);
                         disrupted.push(inflight.item);
                     }
-                    disrupted.extend(c.queue.drain(..));
+                    // Tombstoned entries were already cancelled; only live
+                    // work is disrupted. The emptied queue is trivially
+                    // time-sorted again.
+                    disrupted.extend(
+                        c.queue
+                            .drain(..)
+                            .filter(|q| q.request != RequestId::TOMBSTONE),
+                    );
+                    c.queue_time_sorted = true;
                 }
                 for item in disrupted {
                     self.fail_over(item);
@@ -779,41 +1069,72 @@ impl Simulation {
 
     fn on_scheduler_tick(&mut self) {
         let now = self.queue.now();
-        let metas: Vec<ComponentMeta> = self
-            .comps
-            .iter()
-            .map(|c| ComponentMeta {
-                id: c.id,
-                class: c.class,
-                stage: c.stage as usize,
-                node: c.node,
-                migrating: c.migrating_to.is_some(),
-                // Table III's U_ci: the demand this component actually
-                // exerts right now (own demand × utilisation).
-                own_demand: c.contribution,
-            })
-            .collect();
-        let windows: Vec<Vec<pcs_types::ContentionVector>> =
-            self.samplers.iter_mut().map(|s| s.drain_window()).collect();
-        let rates: Vec<f64> = (0..self.comps.len())
-            .map(|i| self.rate_estimators[i].rate(now))
-            .collect();
-        let scvs: Vec<f64> = (0..self.comps.len())
-            .map(|i| self.service_windows[i].scv_or(self.class_scv[self.comps[i].class]))
-            .collect();
-        let demands = self.cluster.demands();
-        let caps = self.cluster.capacities();
-        let status = self.cluster.statuses();
+        // Non-migrating hooks never read the context: skip assembling it
+        // (pure derivations of monitor state — no RNG, no mutation — so
+        // the skip is invisible to the trace). The monitors' lazily
+        // evicted buffers still need their periodic trim, which the
+        // context assembly would otherwise perform.
+        if !self.hook.wants_context() {
+            debug_assert!(self.hook.on_interval(&empty_context(now)).is_empty());
+            for estimator in &mut self.rate_estimators {
+                estimator.trim(now);
+            }
+            for sampler in &mut self.samplers {
+                sampler.discard_window();
+            }
+            let next = now + self.config.scheduler_interval;
+            if next <= self.end_cap {
+                self.queue.schedule(next, Event::SchedulerTick);
+            }
+            return;
+        }
+        // Context assembly over reusable buffers (`ctx_bufs`): every
+        // derivation is a pure read of monitor state, only the allocations
+        // are recycled across intervals.
+        let bufs = &mut self.ctx_bufs;
+        bufs.metas.clear();
+        bufs.metas.extend(self.comps.iter().map(|c| ComponentMeta {
+            id: c.id,
+            class: c.class,
+            stage: c.stage as usize,
+            node: c.node,
+            migrating: c.migrating_to.is_some(),
+            // Table III's U_ci: the demand this component actually
+            // exerts right now (own demand × utilisation).
+            own_demand: c.contribution,
+        }));
+        for (sampler, window) in self.samplers.iter_mut().zip(bufs.windows.iter_mut()) {
+            sampler.drain_window_into(window);
+        }
+        bufs.rates.clear();
+        bufs.rates
+            .extend((0..self.comps.len()).map(|i| self.rate_estimators[i].rate(now)));
+        bufs.scvs.clear();
+        bufs.scvs.extend(
+            (0..self.comps.len())
+                .map(|i| self.service_windows[i].scv_or(self.class_scv[self.comps[i].class])),
+        );
+        bufs.demands.clear();
+        bufs.status.clear();
+        for n in 0..self.cluster.len() {
+            let node = self.cluster.node(NodeId::from_index(n));
+            bufs.demands.push(node.total_demand());
+            bufs.status.push(if node.is_alive() {
+                crate::faults::NodeStatus::Up
+            } else {
+                crate::faults::NodeStatus::Down
+            });
+        }
         let ctx = SchedulerContext {
             now,
-            components: &metas,
-            node_capacities: &caps,
-            sampled_windows: &windows,
-            arrival_rates: &rates,
-            service_scv: &scvs,
+            components: &bufs.metas,
+            node_capacities: &bufs.caps,
+            sampled_windows: &bufs.windows,
+            arrival_rates: &bufs.rates,
+            service_scv: &bufs.scvs,
             stage_count: self.deployment.stage_count(),
-            ground_truth_demand: &demands,
-            node_status: &status,
+            ground_truth_demand: &bufs.demands,
+            node_status: &bufs.status,
             replica_peers: &self.replica_peers,
         };
         let migrations = self.hook.on_interval(&ctx);

@@ -82,6 +82,14 @@ define_id!(
     JobId,
     "j"
 );
+
+impl RequestId {
+    /// Sentinel marking a cancelled (tombstoned) queue entry in the
+    /// simulator's component queues. Never allocated to a real request:
+    /// ids are handed out sequentially from zero, and a run would need
+    /// 2³²−1 arrivals to reach it.
+    pub const TOMBSTONE: RequestId = RequestId(u32::MAX);
+}
 define_id!(
     /// A sequential stage of the service topology (paper: stage `j`).
     StageId,

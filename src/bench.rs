@@ -1,0 +1,528 @@
+//! The `pcs bench` harness: the repo's performance trajectory,
+//! machine-readable.
+//!
+//! Two complementary measurements, both emitted into one JSON report
+//! (`BENCH_PR<N>.json` at the repo root is the per-PR convention):
+//!
+//! * **event-loop benches** — individual simulation cells run directly
+//!   through [`fig6::run_cell_with_epsilon`], reporting wall-clock *and*
+//!   the DES core's events/sec (from
+//!   [`pcs_sim::RunReport::events_processed`]). The cells mirror the
+//!   pinned scenario grids: the fig6 smoke grid (Basic/RED-2/PCS at
+//!   80 req/s) and the failures smoke grid (Basic/LL/PCS under a
+//!   single-kill outage), plus heavier full-grid cells outside `--smoke`.
+//! * **scenario sweeps** — every registered scenario family, run through
+//!   the real [`pcs_harness::run_sweep`] on smoke budgets, so a perf
+//!   regression anywhere in the registry shows up as wall-clock.
+//!
+//! Each measurement repeats `repeats` times and keeps the **minimum**
+//! wall-clock (the least-noise estimator for a deterministic
+//! computation). Passing `--baseline <previous report>` embeds that
+//! report's numbers and a per-entry speedup table, which is how a PR
+//! demonstrates its win against the predecessor measured on the same
+//! machine.
+//!
+//! Bench reports are intentionally **not** byte-reproducible (they carry
+//! wall-clock); the scenario reports proper remain byte-pinned and are
+//! untouched by benching.
+
+use crate::experiments::fig6::{self, Fig6Config};
+use crate::scenarios::{self, base_grid, train_models};
+use crate::techniques::{self, TechniqueRef};
+use pcs_core::ClassModelSet;
+use pcs_harness::{run_sweep, Json, SweepParams};
+use pcs_sim::SimConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Report schema tag; bump when the layout changes incompatibly.
+pub const SCHEMA: &str = "pcs-bench/1";
+
+/// Knobs of one bench invocation.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// CI mode: fewer repeats, smoke-grid event-loop cells only.
+    pub smoke: bool,
+    /// Restrict the scenario-sweep section to these families.
+    pub scenarios: Option<Vec<String>>,
+    /// Measurement repeats per entry (the minimum wall-clock is kept).
+    pub repeats: usize,
+    /// Worker threads for the scenario sweeps.
+    pub threads: usize,
+    /// Free-form label recorded in the report (e.g. `PR5`).
+    pub label: String,
+    /// A previous bench report to compare against, already parsed.
+    pub baseline: Option<Json>,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            smoke: false,
+            scenarios: None,
+            repeats: 3,
+            threads: SweepParams::default().threads,
+            label: String::new(),
+            baseline: None,
+        }
+    }
+}
+
+/// One event-loop bench cell: a single simulation run, timed.
+struct EventLoopBench {
+    name: String,
+    rate: f64,
+    config: SimConfig,
+    technique: TechniqueRef,
+    models: Arc<ClassModelSet>,
+    epsilon_secs: f64,
+}
+
+/// The fig6 smoke grid exactly as the pinned `fig6 --smoke` report runs
+/// it: Basic, RED-2 and PCS at 80 req/s on the 10-component topology.
+fn fig6_smoke_benches() -> Vec<EventLoopBench> {
+    let params = SweepParams {
+        seed: 62015,
+        smoke: true,
+        ..SweepParams::default()
+    };
+    let cfg = base_grid(&params, &[10.0, 20.0, 50.0, 100.0, 200.0, 500.0]);
+    grid_benches("fig6-smoke", &cfg, techniques::smoke_set(), |c| c.clone())
+}
+
+/// Heavier full-grid fig6 cells (outside `--smoke`): the paper topology
+/// at 200 req/s under the four mechanism families.
+fn fig6_full_benches() -> Vec<EventLoopBench> {
+    let params = SweepParams {
+        seed: 62015,
+        ..SweepParams::default()
+    };
+    let cfg = base_grid(&params, &[200.0]);
+    let set = vec![
+        techniques::basic(),
+        techniques::red(3),
+        techniques::ri(90.0),
+        techniques::pcs(),
+    ];
+    grid_benches("fig6-full", &cfg, set, |c| c.clone())
+}
+
+/// The failures smoke grid's single-kill column: Basic, LL and PCS at
+/// 80 req/s on the compact 6-node cluster, replaying the same outage the
+/// pinned `failures --smoke` report uses.
+fn failures_smoke_benches() -> Vec<EventLoopBench> {
+    let params = SweepParams {
+        seed: 62019,
+        smoke: true,
+        ..SweepParams::default()
+    };
+    let cfg = base_grid(&params, &[100.0]);
+    let set = vec![techniques::basic(), techniques::ll(), techniques::pcs()];
+    grid_benches("failures-smoke", &cfg, set, |sim| {
+        let mut sim = sim.clone();
+        sim.node_count = scenarios::failures::FAIL_NODE_COUNT;
+        sim.faults = scenarios::failures::fault_plan(
+            "single-kill",
+            pcs_harness::seed::mix(fig6::rate_seed(62019, sim.arrival_rate), 0),
+            &sim,
+        );
+        sim
+    })
+}
+
+/// Expands a grid config into one bench per (rate, technique) cell.
+///
+/// # Panics
+/// Panics if the grid would produce two cells with the same name — the
+/// `--baseline` speedup join is by name, so a multi-rate grid must put
+/// the rate in the family label rather than alias silently.
+fn grid_benches(
+    family: &str,
+    cfg: &Fig6Config,
+    set: Vec<TechniqueRef>,
+    adapt: impl Fn(&SimConfig) -> SimConfig,
+) -> Vec<EventLoopBench> {
+    let models = train_models(cfg);
+    let mut out: Vec<EventLoopBench> = Vec::new();
+    for &rate in &cfg.rates {
+        for technique in &set {
+            let sim = fig6::cell_config(cfg, rate);
+            let name = format!("{family}/{}", technique.name());
+            assert!(
+                out.iter().all(|b| b.name != name),
+                "duplicate bench name `{name}`: a multi-rate grid must encode the rate in the \
+                 family label (names key the --baseline speedup join)"
+            );
+            out.push(EventLoopBench {
+                name,
+                rate,
+                config: adapt(&sim),
+                technique: technique.clone(),
+                models: models.clone(),
+                epsilon_secs: cfg.epsilon_secs,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the bench suite and assembles the report.
+///
+/// Progress goes to stderr; the returned JSON is the report to write.
+pub fn run(params: &BenchParams) -> Result<Json, String> {
+    let repeats = params.repeats.max(1);
+
+    // Resolve the scenario selection up front so a typo fails before any
+    // measurement work happens.
+    let registry = scenarios::registry();
+    let selected: Vec<&dyn pcs_harness::Scenario> = match &params.scenarios {
+        Some(names) => {
+            let mut picked = Vec::new();
+            for name in names {
+                let scenario = registry
+                    .iter()
+                    .find(|s| s.name() == name)
+                    .ok_or_else(|| format!("unknown scenario `{name}` in --scenarios"))?;
+                picked.push(scenario.as_ref());
+            }
+            picked
+        }
+        None => registry.iter().map(|s| s.as_ref()).collect(),
+    };
+
+    // ---- event-loop benches ------------------------------------------
+    let mut benches = fig6_smoke_benches();
+    benches.extend(failures_smoke_benches());
+    if !params.smoke {
+        benches.extend(fig6_full_benches());
+    }
+    let mut event_loop = Vec::new();
+    for bench in &benches {
+        eprintln!("bench: {} @ {} req/s ...", bench.name, bench.rate);
+        let mut wall_ms = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let report = fig6::run_cell_with_epsilon(
+                &bench.config,
+                bench.technique.as_ref(),
+                &bench.models,
+                bench.epsilon_secs,
+            );
+            let elapsed = started.elapsed().as_secs_f64() * 1e3;
+            wall_ms = wall_ms.min(elapsed);
+            // Deterministic sim: every repeat handles the same events.
+            debug_assert!(events == 0 || events == report.events_processed);
+            events = report.events_processed;
+        }
+        let events_per_sec = if wall_ms > 0.0 {
+            events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        event_loop.push(Json::object(vec![
+            ("bench".into(), Json::from(bench.name.clone())),
+            ("rate".into(), Json::Num(bench.rate)),
+            ("events".into(), Json::from(events)),
+            ("wall_ms".into(), Json::Num(wall_ms)),
+            ("events_per_sec".into(), Json::Num(events_per_sec)),
+        ]));
+    }
+
+    // ---- scenario sweeps ---------------------------------------------
+    let mut scenario_rows = Vec::new();
+    for scenario in selected {
+        eprintln!("bench: scenario {} --smoke ...", scenario.name());
+        let sweep_params = SweepParams {
+            seed: scenario.default_seed(),
+            threads: params.threads,
+            smoke: true,
+            ..SweepParams::default()
+        };
+        // Plan once (shared setup like model training is amortised across
+        // cells in real runs, so it stays outside the timed region).
+        let plan = scenario.plan(&sweep_params);
+        let cells = plan.cells.len();
+        let mut wall_ms = f64::INFINITY;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let outcome = run_sweep(&plan, &sweep_params);
+            wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(outcome);
+        }
+        scenario_rows.push(Json::object(vec![
+            ("scenario".into(), Json::from(scenario.name())),
+            ("cells".into(), Json::from(cells)),
+            ("wall_ms".into(), Json::Num(wall_ms)),
+            (
+                "ms_per_cell".into(),
+                Json::Num(if cells > 0 {
+                    wall_ms / cells as f64
+                } else {
+                    0.0
+                }),
+            ),
+        ]));
+    }
+
+    // ---- report ------------------------------------------------------
+    let mut report = vec![
+        ("schema".into(), Json::from(SCHEMA)),
+        ("label".into(), Json::from(params.label.clone())),
+        ("smoke".into(), Json::Bool(params.smoke)),
+        ("repeats".into(), Json::from(repeats)),
+        ("threads".into(), Json::from(params.threads)),
+        ("event_loop".into(), Json::Array(event_loop)),
+        ("scenarios".into(), Json::Array(scenario_rows)),
+    ];
+    if let Some(baseline) = &params.baseline {
+        report.push(("speedup".into(), speedup_section(&report, baseline)?));
+        report.push((
+            "baseline".into(),
+            Json::object(vec![
+                (
+                    "label".into(),
+                    baseline.get("label").cloned().unwrap_or(Json::Null),
+                ),
+                (
+                    "event_loop".into(),
+                    baseline.get("event_loop").cloned().unwrap_or(Json::Null),
+                ),
+                (
+                    "scenarios".into(),
+                    baseline.get("scenarios").cloned().unwrap_or(Json::Null),
+                ),
+            ]),
+        ));
+    }
+    Ok(Json::object(report))
+}
+
+/// Joins current and baseline entries by name and emits per-entry
+/// speedups plus the two headline aggregates (fig6 smoke grid, failures
+/// scenario).
+fn speedup_section(current: &[(String, Json)], baseline: &Json) -> Result<Json, String> {
+    if baseline.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!(
+            "--baseline report has an unknown schema (want {SCHEMA})"
+        ));
+    }
+    let section = |key: &str| -> &[Json] {
+        current
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_array())
+            .unwrap_or(&[])
+    };
+    let wall_of = |rows: &[Json], key: &str, name: &str| -> Option<f64> {
+        rows.iter()
+            .find(|row| row.get(key).and_then(Json::as_str) == Some(name))
+            .and_then(|row| row.get("wall_ms"))
+            .and_then(Json::as_f64)
+    };
+    let base_events: &[Json] = baseline
+        .get("event_loop")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    let base_scenarios: &[Json] = baseline
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+
+    let mut rows = Vec::new();
+    let mut fig6_smoke = RatioAccum::default();
+    for row in section("event_loop") {
+        let Some(name) = row.get("bench").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(now) = row.get("wall_ms").and_then(Json::as_f64) else {
+            continue;
+        };
+        let Some(base) = wall_of(base_events, "bench", name) else {
+            continue;
+        };
+        if name.starts_with("fig6-smoke/") {
+            fig6_smoke.add(base, now);
+        }
+        rows.push(Json::object(vec![
+            ("bench".into(), Json::from(name)),
+            ("baseline_wall_ms".into(), Json::Num(base)),
+            ("wall_ms".into(), Json::Num(now)),
+            ("speedup".into(), ratio(base, now)),
+        ]));
+    }
+    let mut scenario_rows = Vec::new();
+    let mut failures = RatioAccum::default();
+    for row in section("scenarios") {
+        let Some(name) = row.get("scenario").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(now) = row.get("wall_ms").and_then(Json::as_f64) else {
+            continue;
+        };
+        let Some(base) = wall_of(base_scenarios, "scenario", name) else {
+            continue;
+        };
+        if name == "failures" {
+            failures.add(base, now);
+        }
+        scenario_rows.push(Json::object(vec![
+            ("scenario".into(), Json::from(name)),
+            ("baseline_wall_ms".into(), Json::Num(base)),
+            ("wall_ms".into(), Json::Num(now)),
+            ("speedup".into(), ratio(base, now)),
+        ]));
+    }
+    Ok(Json::object(vec![
+        ("fig6_smoke_grid".into(), fig6_smoke.speedup()),
+        ("failures_scenario".into(), failures.speedup()),
+        ("event_loop".into(), Json::Array(rows)),
+        ("scenarios".into(), Json::Array(scenario_rows)),
+    ]))
+}
+
+/// Sums baseline and current wall-clock for one aggregate speedup.
+#[derive(Default)]
+struct RatioAccum {
+    base: f64,
+    now: f64,
+}
+
+impl RatioAccum {
+    fn add(&mut self, base: f64, now: f64) {
+        self.base += base;
+        self.now += now;
+    }
+    fn speedup(&self) -> Json {
+        ratio(self.base, self.now)
+    }
+}
+
+fn ratio(base: f64, now: f64) -> Json {
+    if now > 0.0 && base > 0.0 {
+        Json::Num(base / now)
+    } else {
+        Json::Null
+    }
+}
+
+/// Validates a bench report: parses, checks the schema, and requires the
+/// scenario section to cover every registered scenario family with
+/// numeric wall-clock (the CI gate behind `pcs bench --check`).
+pub fn check_report(text: &str) -> Result<(), String> {
+    let report = Json::parse(text).map_err(|e| format!("report does not parse: {e}"))?;
+    if report.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema is not {SCHEMA}"));
+    }
+    let scenario_rows = report
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("report has no scenarios array")?;
+    for scenario in scenarios::registry() {
+        let row = scenario_rows
+            .iter()
+            .find(|row| row.get("scenario").and_then(Json::as_str) == Some(scenario.name()))
+            .ok_or_else(|| format!("scenario family `{}` missing from report", scenario.name()))?;
+        let wall = row.get("wall_ms").and_then(Json::as_f64);
+        if !wall.is_some_and(|w| w.is_finite() && w >= 0.0) {
+            return Err(format!(
+                "scenario `{}` has no finite wall_ms",
+                scenario.name()
+            ));
+        }
+    }
+    let event_rows = report
+        .get("event_loop")
+        .and_then(Json::as_array)
+        .ok_or("report has no event_loop array")?;
+    if event_rows.is_empty() {
+        return Err("event_loop section is empty".into());
+    }
+    for row in event_rows {
+        let rate = row.get("events_per_sec").and_then(Json::as_f64);
+        if !rate.is_some_and(|r| r.is_finite() && r > 0.0) {
+            return Err(format!(
+                "event-loop bench `{}` has no positive events_per_sec",
+                row.get("bench")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed>")
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> BenchParams {
+        BenchParams {
+            smoke: true,
+            scenarios: Some(vec!["ablation-rebuild".into()]),
+            repeats: 1,
+            threads: 1,
+            label: "test".into(),
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn bench_report_covers_requested_sections_and_checks_fail_without_full_coverage() {
+        let report = run(&tiny_params()).expect("bench runs");
+        assert_eq!(report.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let events = report.get("event_loop").and_then(Json::as_array).unwrap();
+        // fig6 smoke grid (3 techniques) + failures smoke grid (3).
+        assert_eq!(events.len(), 6);
+        for row in events {
+            assert!(
+                row.get("events").and_then(Json::as_f64).unwrap() > 0.0,
+                "every bench cell must process events"
+            );
+        }
+        // One scenario only → --check must reject the partial report.
+        let rendered = report.render();
+        let err = check_report(&rendered).unwrap_err();
+        assert!(err.contains("missing from report"), "{err}");
+    }
+
+    #[test]
+    fn speedup_joins_by_name() {
+        let mk = |wall: f64| {
+            Json::object(vec![
+                ("schema".into(), Json::from(SCHEMA)),
+                ("label".into(), Json::from("x")),
+                (
+                    "event_loop".into(),
+                    Json::Array(vec![Json::object(vec![
+                        ("bench".into(), Json::from("fig6-smoke/Basic")),
+                        ("wall_ms".into(), Json::Num(wall)),
+                    ])]),
+                ),
+                (
+                    "scenarios".into(),
+                    Json::Array(vec![Json::object(vec![
+                        ("scenario".into(), Json::from("failures")),
+                        ("wall_ms".into(), Json::Num(wall)),
+                    ])]),
+                ),
+            ])
+        };
+        let current = mk(10.0);
+        let current_pairs = match &current {
+            Json::Object(pairs) => pairs.clone(),
+            _ => unreachable!(),
+        };
+        let section = speedup_section(&current_pairs, &mk(30.0)).expect("joins");
+        let fig6 = section.get("fig6_smoke_grid").and_then(Json::as_f64);
+        assert!((fig6.unwrap() - 3.0).abs() < 1e-12);
+        let failures = section.get("failures_scenario").and_then(Json::as_f64);
+        assert!((failures.unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_rejects_garbage() {
+        assert!(check_report("not json").is_err());
+        assert!(check_report("{\"schema\":\"other\"}").is_err());
+    }
+}

@@ -286,6 +286,7 @@ mod tests {
                 },
                 stats: TechniqueStats::default(),
                 faults: Default::default(),
+                events_processed: 0,
             },
             technique,
             rate: 100.0,

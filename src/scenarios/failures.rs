@@ -36,7 +36,9 @@ use pcs_types::SimTime;
 
 /// Node count of the failures cluster: small enough that every node
 /// hosts at least two components in both the smoke and the full grid.
-const FAIL_NODE_COUNT: usize = 6;
+/// Shared with the bench harness, whose failures cells replay this
+/// scenario's grid.
+pub(crate) const FAIL_NODE_COUNT: usize = 6;
 
 /// One-shot and kill-restore victims are drawn from the first four
 /// nodes, which host at least two components each under anti-affine
@@ -53,8 +55,9 @@ const PLANS: [&str; 3] = ["single-kill", "kill-restore", "cascade"];
 /// Builds one plan's fault schedule against a cell's simulation config.
 /// Timing scales with the horizon so `--smoke` keeps the same shape:
 /// kill at 25% of the measured span, restore 35% later, cascade kills
-/// 0.4 s apart (inside one scheduling interval).
-fn fault_plan(plan: &str, plan_seed: u64, sim: &SimConfig) -> FaultPlan {
+/// 0.4 s apart (inside one scheduling interval). `pub(crate)` so the
+/// bench harness measures the identical outage.
+pub(crate) fn fault_plan(plan: &str, plan_seed: u64, sim: &SimConfig) -> FaultPlan {
     let measured = sim.horizon - sim.warmup;
     let kill_at = SimTime::ZERO + sim.warmup + measured.mul_f64(0.25);
     let downtime = measured.mul_f64(0.35);
@@ -160,6 +163,113 @@ fn failures_summary(cells: &[CellOutcome]) -> Vec<(String, Json)> {
         ("ll_worst_evacuation_ms".to_string(), opt(ll_worst)),
         ("evacuation_by_cell".to_string(), Json::Array(rows)),
     ]
+}
+
+/// The rolling-restart maintenance wave over the failures cluster:
+/// node `i` goes down at `start + i·period` and returns `downtime`
+/// later, sweeping the whole cluster once. Timing fractions of the
+/// measured span (so `--smoke` keeps the shape): the wave starts 5% in,
+/// nodes restart every 15%, each stays down for 10% — longer than the
+/// scheduling interval in the full grid, so migration-capable techniques
+/// get to evacuate ahead of each restore while blind ones ride out every
+/// outage.
+fn rolling_plan(sim: &SimConfig) -> FaultPlan {
+    let measured = sim.horizon - sim.warmup;
+    FaultPlan::rolling_restart(
+        FAIL_NODE_COUNT,
+        SimTime::ZERO + sim.warmup + measured.mul_f64(0.05),
+        measured.mul_f64(0.15),
+        measured.mul_f64(0.10),
+    )
+}
+
+/// The `failures-rolling` scenario: the ROADMAP's maintenance-wave
+/// follow-up. One rolling restart across all six nodes over a long
+/// horizon (twice the family default), per registry technique.
+pub struct RollingRestartScenario;
+
+impl Scenario for RollingRestartScenario {
+    fn name(&self) -> &'static str {
+        "failures-rolling"
+    }
+
+    fn description(&self) -> &'static str {
+        "Maintenance wave: rolling node restarts under load, long horizon"
+    }
+
+    fn default_seed(&self) -> u64 {
+        62020
+    }
+
+    fn techniques_selectable(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, params: &SweepParams) -> SweepPlan {
+        let mut cfg = base_grid(params, &[100.0]);
+        // A whole-cluster wave needs a long horizon: double the family
+        // default (the `--smoke` shrink is applied first, so smoke runs
+        // stay CI-sized).
+        cfg.horizon_scale *= 2.0;
+        cfg.techniques = technique_grid(params, failures_set(), failures_smoke_set());
+        let models = train_models(&cfg);
+        let mut cells = Vec::new();
+        for &rate in &cfg.rates {
+            // One deterministic wave per rate, identical for every
+            // technique ([`FaultPlan::rolling_restart`] draws nothing).
+            let mut sim_probe = fig6::cell_config(&cfg, rate);
+            sim_probe.node_count = FAIL_NODE_COUNT;
+            let schedule = rolling_plan(&sim_probe);
+            let victims: Vec<Json> = schedule
+                .events()
+                .iter()
+                .filter(|e| e.kind == FaultKind::Kill)
+                .map(|e| Json::from(e.node.index() as u64))
+                .collect();
+            for technique in &cfg.techniques {
+                let models = models.clone();
+                let cfg = cfg.clone();
+                let technique = technique.clone();
+                let schedule = schedule.clone();
+                cells.push(CellPlan {
+                    label: format!("{} @ {rate} req/s rolling-restart", technique.name()),
+                    params: vec![
+                        kv("rate", rate),
+                        kv("technique", technique.name()),
+                        kv("plan", "rolling-restart".to_string()),
+                        ("victims".to_string(), Json::Array(victims.clone())),
+                    ],
+                    // Runner seed unused: techniques replay one trace.
+                    run: Box::new(move |_cell_seed| {
+                        let mut sim_config = fig6::cell_config(&cfg, rate);
+                        sim_config.node_count = FAIL_NODE_COUNT;
+                        sim_config.faults = schedule.clone();
+                        let report = fig6::run_cell_with_epsilon(
+                            &sim_config,
+                            technique.as_ref(),
+                            &models,
+                            cfg.epsilon_secs,
+                        );
+                        let mut metrics = report_metrics(&report);
+                        metrics.extend(fault_metrics(&report));
+                        CellResult { metrics }
+                    }),
+                });
+            }
+        }
+        SweepPlan {
+            cells,
+            summarize: Some(Box::new(failures_summary)),
+            notes: vec![
+                format!(
+                    "rolling restart over all {FAIL_NODE_COUNT} nodes: wave starts 5% into the \
+                     measured span, one node every 15%, each down for 10%"
+                ),
+                "evacuation_ms = kill -> last orphan re-placed (migration or restore); null = never"
+                    .to_string(),
+            ],
+        }
+    }
 }
 
 /// The scenario registration.

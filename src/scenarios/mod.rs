@@ -24,6 +24,7 @@
 //! | `hetero` | techniques on a mixed-capacity cluster |
 //! | `mmpp` | techniques under bursty Markov-modulated arrivals |
 //! | `failures` | techniques under node kill/restore faults |
+//! | `failures-rolling` | techniques under a rolling-restart maintenance wave |
 //!
 //! The comparison scenarios sweep the open technique registry
 //! ([`crate::techniques`]); `--techniques <list>` overrides any of their
@@ -59,6 +60,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(extended::HeteroScenario),
         Box::new(extended::MmppScenario),
         Box::new(failures::FailuresScenario),
+        Box::new(failures::RollingRestartScenario),
     ]
 }
 
@@ -217,7 +219,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
@@ -236,7 +238,15 @@ mod tests {
             .collect();
         assert_eq!(
             selectable,
-            vec!["fig6", "headline", "diurnal", "hetero", "mmpp", "failures"]
+            vec![
+                "fig6",
+                "headline",
+                "diurnal",
+                "hetero",
+                "mmpp",
+                "failures",
+                "failures-rolling"
+            ]
         );
     }
 

@@ -59,6 +59,46 @@ fn zero_repeats_is_rejected() {
 }
 
 #[test]
+fn zero_threads_is_rejected() {
+    // A zero-thread sweep would silently fall back to one worker; the
+    // runner knob is validated up front like the grid knobs.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--threads", "0"],
+        "at least 1",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--threads", "two"],
+        "--threads",
+    );
+}
+
+#[test]
+fn bench_knobs_are_validated() {
+    rejected_with(&["bench", "--threads", "0"], "at least 1");
+    rejected_with(&["bench", "--repeats", "0"], "at least 1");
+    rejected_with(&["bench", "--scenarios", ""], "at least one scenario");
+    rejected_with(&["bench", "--scenarios", "warp-drive"], "unknown scenario");
+    rejected_with(
+        &["bench", "--baseline", "/nonexistent/path.json"],
+        "--baseline",
+    );
+}
+
+#[test]
+fn bench_check_rejects_a_partial_report() {
+    // --check demands coverage of every registered family; an empty JSON
+    // object parses but covers nothing.
+    let dir = std::env::temp_dir().join("pcs-bench-check-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("partial.json");
+    std::fs::write(&path, "{\"schema\":\"pcs-bench/1\",\"scenarios\":[]}\n").unwrap();
+    let out = pcs(&["bench", "--check", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing from report"), "{stderr}");
+}
+
+#[test]
 fn unknown_technique_error_names_the_new_vocabulary() {
     let out = pcs(&[
         "run",
@@ -85,9 +125,11 @@ fn list_techniques_includes_the_hybrid_and_budgeted_variants() {
 }
 
 #[test]
-fn list_scenarios_includes_failures() {
+fn list_scenarios_includes_the_failures_family() {
     let out = pcs(&["list", "scenarios"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("failures"), "{stdout}");
+    for name in ["failures", "failures-rolling"] {
+        assert!(stdout.contains(name), "missing `{name}`:\n{stdout}");
+    }
 }

@@ -62,6 +62,11 @@ fn failures_report_is_byte_identical_across_runs_and_thread_counts() {
     assert_reproducible("failures");
 }
 
+#[test]
+fn failures_rolling_report_is_byte_identical_across_runs_and_thread_counts() {
+    assert_reproducible("failures-rolling");
+}
+
 /// FNV-1a 64 over the rendered report: a compact byte-exact pin.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -98,6 +103,44 @@ fn failures_smoke_report_bytes_are_pinned() {
         fnv1a(report.as_bytes()),
         0x02a7_42a0_3588_2d04,
         "failures smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
+/// Every remaining comparison family's default smoke report, pinned the
+/// same way. These hashes were captured **before** the PR 5 hot-path
+/// overhaul (request slab, tombstone cancellation, completion slots,
+/// event-key packing, O(n) summaries, contention/service-profile
+/// memoisation) and must survive it bit for bit: the optimisations are
+/// only legal because they change no observable float, count or
+/// ordering. `ablation-rebuild` and `fig7` report wall-clock and cannot
+/// be pinned.
+#[test]
+fn default_smoke_reports_are_pinned_across_the_optimized_hot_path() {
+    for (name, pinned) in [
+        ("fig6", 0xb57d_6163_a91c_1547_u64),
+        ("headline", 0xff9b_f9d5_0ec6_9c43),
+        ("diurnal", 0xbe38_11fb_a538_fefe),
+        ("hetero", 0x7b21_a286_3ee5_954c),
+    ] {
+        let report = render(name, 2);
+        assert_eq!(
+            fnv1a(report.as_bytes()),
+            pinned,
+            "{name} smoke report bytes changed; if intentional, re-pin this hash"
+        );
+    }
+}
+
+/// The new rolling-restart family, pinned from its first release. Any
+/// change to `FaultPlan::rolling_restart`, the failures-family metrics
+/// or the techniques it sweeps must re-pin deliberately.
+#[test]
+fn failures_rolling_smoke_report_bytes_are_pinned() {
+    let report = render("failures-rolling", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0xa6fb_9a2b_d941_1982,
+        "failures-rolling smoke report bytes changed; if intentional, re-pin this hash"
     );
 }
 
