@@ -7,13 +7,32 @@
 //! overhead therefore can remain low even with a large number of
 //! components."*
 //!
-//! [`HierarchicalScheduler`] implements that strategy: components are
-//! partitioned into groups of at most `group_cap`; the performance matrix
-//! is built once over the whole cluster, then the greedy loop runs per
-//! group (each group's components as the candidate set), with matrix state
-//! carried across groups so later groups see earlier groups' migrations.
+//! [`HierarchicalScheduler`] implements that strategy over the one greedy
+//! implementation, [`ComponentScheduler::run_masked`]: the performance
+//! matrix is built once over the whole cluster, then the flat greedy runs
+//! per group (each group's components as the candidate set), with matrix
+//! state carried across groups so later groups see earlier groups'
+//! migrations. Because every group run *is* `run_masked`, the grouped
+//! scheduler inherits everything the flat path has — liveness saturation,
+//! budget accounting against prior migrations (the controller's
+//! evacuation pass), and candidate exclusions — instead of duplicating
+//! the loop.
+//!
+//! Groups come in two shapes:
+//!
+//! * [`HierarchicalScheduler::run`] — contiguous id ranges of at most
+//!   `group_cap` (the paper's plain grouping; components of one class are
+//!   numbered together, so ranges align with homogeneous blocks);
+//! * [`HierarchicalScheduler::run_grouped`] — caller-supplied groups,
+//!   e.g. components grouped by the *rack* of their current host (the
+//!   RackSched-style two-level shape: level 1 walks racks, level 2 is the
+//!   bounded greedy within each rack's group). Oversized groups are
+//!   transparently split into `group_cap` chunks.
+//!
 //! The per-iteration scan drops from O(m·k) to O(cap·k), bounding the
-//! search at O(m·cap·k) instead of O(m²·k).
+//! search at O(m·cap·k) instead of O(m²·k). One candidate mask is reused
+//! across all groups (a single O(m) allocation per run, not one per
+//! group).
 
 use crate::matrix::{MatrixConfig, PerformanceMatrix};
 use crate::predictor::ClassModelSet;
@@ -57,53 +76,71 @@ impl HierarchicalScheduler {
         self.run(&mut matrix)
     }
 
-    /// Runs the grouped greedy loops on an existing matrix.
+    /// Runs the grouped greedy loops on an existing matrix, grouping by
+    /// contiguous component-id ranges of at most `group_cap`.
     pub fn run(&self, matrix: &mut PerformanceMatrix) -> ScheduleOutcome {
         let m = matrix.component_count();
+        let everyone: Vec<usize> = (0..m).collect();
+        self.run_grouped(matrix, &[everyone], &vec![true; m], 0)
+    }
+
+    /// Runs the grouped greedy loops with caller-defined groups (e.g.
+    /// rack-aligned), an `allowed` mask of components that may migrate at
+    /// all (the controller masks out in-flight migrants and already
+    /// evacuated orphans), and a count of migrations already spent this
+    /// interval against [`SchedulerConfig::max_migrations`].
+    ///
+    /// Groups larger than `group_cap` are split into cap-sized chunks in
+    /// the given order. Once the migration budget is exhausted, remaining
+    /// groups are skipped outright — no per-group setup work is spent on
+    /// runs that could not accept anything.
+    ///
+    /// # Panics
+    /// Panics if `allowed` does not have one entry per component, or if a
+    /// component index is out of range or listed in more than one group
+    /// (a component may migrate at most once per interval; overlapping
+    /// groups would break that).
+    pub fn run_grouped(
+        &self,
+        matrix: &mut PerformanceMatrix,
+        groups: &[Vec<usize>],
+        allowed: &[bool],
+        prior_migrations: usize,
+    ) -> ScheduleOutcome {
+        let m = matrix.component_count();
+        assert_eq!(allowed.len(), m, "one allowed flag per component");
         let analysis_time = matrix.build_time();
         let search_start = Instant::now();
         let predicted_before = matrix.overall_latency();
+        let scheduler = ComponentScheduler::new(self.config);
         let mut decisions: Vec<MigrationDecision> = Vec::new();
         let mut iterations = 0usize;
+        // One mask for every group run, plus a membership check that no
+        // component can be offered to the greedy twice.
+        let mut mask = vec![false; m];
+        let mut seen = vec![false; m];
 
-        // Groups are contiguous id ranges; components of one class are
-        // numbered together, so groups align with homogeneous blocks.
-        let mut start = 0usize;
-        while start < m {
-            let end = (start + self.group_cap).min(m);
-            let mut candidates = vec![false; m];
-            for slot in candidates.iter_mut().take(end).skip(start) {
-                *slot = true;
-            }
-            let mut remaining = end - start;
-            while remaining > 0 {
+        'groups: for group in groups {
+            for chunk in group.chunks(self.group_cap) {
                 if let Some(cap) = self.config.max_migrations {
-                    if decisions.len() >= cap {
-                        break;
+                    if prior_migrations + decisions.len() >= cap {
+                        break 'groups;
                     }
                 }
-                iterations += 1;
-                let Some(best) = matrix.best_candidate(&candidates) else {
-                    break;
-                };
-                if best.gain <= self.config.epsilon_secs {
-                    break;
+                for &i in chunk {
+                    assert!(i < m, "group member {i} out of range");
+                    assert!(!seen[i], "component {i} listed in more than one group");
+                    seen[i] = true;
+                    mask[i] = allowed[i];
                 }
-                candidates[best.component.index()] = false;
-                remaining -= 1;
-                let from = matrix.apply_migration(best.component, best.destination, &candidates);
-                if self.config.full_rebuild {
-                    matrix.rebuild_entries();
+                let outcome =
+                    scheduler.run_masked(matrix, &mut mask, prior_migrations + decisions.len());
+                iterations += outcome.iterations;
+                decisions.extend(outcome.decisions);
+                for &i in chunk {
+                    mask[i] = false;
                 }
-                decisions.push(MigrationDecision {
-                    component: best.component,
-                    from,
-                    to: best.destination,
-                    predicted_gain: best.gain,
-                    predicted_self_gain: best.self_gain,
-                });
             }
-            start = end;
         }
 
         ScheduleOutcome {
@@ -194,6 +231,31 @@ mod tests {
     }
 
     #[test]
+    fn matches_flat_scheduler_with_a_saturated_node() {
+        // The fault case: node 2's demand is saturated the way the
+        // controller saturates a *dead* node, so the flat greedy routes
+        // everything away from it. The hierarchical path is the same
+        // greedy, so its decisions must be identical — including never
+        // targeting the saturated node.
+        let models = linear_models();
+        let mut inputs = inputs(18, 6);
+        inputs.nodes[2].demand = ResourceVector::new(192.0, 400.0, 3200.0, 2000.0);
+        let flat =
+            ComponentScheduler::new(config()).schedule(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 64).schedule(
+            &inputs,
+            &models,
+            MatrixConfig::default(),
+        );
+        assert_eq!(flat.decisions, hier.decisions);
+        assert_eq!(flat.final_allocation, hier.final_allocation);
+        assert!(!flat.decisions.is_empty(), "the hot cluster must migrate");
+        for d in &flat.decisions {
+            assert_ne!(d.to, NodeId::from_index(2), "never target the dead node");
+        }
+    }
+
+    #[test]
     fn grouped_scheduling_still_improves() {
         let models = linear_models();
         let inputs = inputs(48, 8);
@@ -235,6 +297,64 @@ mod tests {
             );
             last_group = group;
         }
+    }
+
+    #[test]
+    fn explicit_groups_respect_order_and_exclusions() {
+        // Rack-style interleaved groups: evens then odds. Decisions must
+        // follow group order, and disallowed components must never move.
+        let models = linear_models();
+        let inputs = inputs(20, 4);
+        let evens: Vec<usize> = (0..20).step_by(2).collect();
+        let odds: Vec<usize> = (1..20).step_by(2).collect();
+        let mut allowed = vec![true; 20];
+        allowed[0] = false;
+        allowed[7] = false;
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 64);
+        let outcome = hier.run_grouped(&mut matrix, &[evens, odds], &allowed, 0);
+        let mut seen_odd = false;
+        for d in &outcome.decisions {
+            assert!(allowed[d.component.index()], "excluded component moved");
+            if d.component.index() % 2 == 1 {
+                seen_odd = true;
+            } else {
+                assert!(!seen_odd, "even-group decision after the odd group");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_stops_the_group_walk() {
+        // Prior migrations already at the cap: no group may schedule (or
+        // even probe) anything.
+        let models = linear_models();
+        let inputs = inputs(30, 5);
+        let cfg = SchedulerConfig {
+            epsilon_secs: 1e-6,
+            max_migrations: Some(2),
+            full_rebuild: false,
+        };
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(cfg, 10);
+        let outcome = hier.run_grouped(&mut matrix, &[(0..30).collect::<Vec<_>>()], &[true; 30], 2);
+        assert!(outcome.decisions.is_empty());
+        assert_eq!(outcome.iterations, 0);
+
+        // And a budget that runs out mid-walk caps the total.
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let outcome = hier.run(&mut matrix);
+        assert!(outcome.decisions.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one group")]
+    fn overlapping_groups_are_rejected() {
+        let models = linear_models();
+        let inputs = inputs(6, 3);
+        let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        let hier = HierarchicalScheduler::new(config(), 4);
+        let _ = hier.run_grouped(&mut matrix, &[vec![0, 1, 2], vec![2, 3]], &[true; 6], 0);
     }
 
     #[test]

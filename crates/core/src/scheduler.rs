@@ -136,7 +136,7 @@ impl ComponentScheduler {
     /// can inspect predicted latencies under the new allocation.
     pub fn run(&self, matrix: &mut PerformanceMatrix) -> ScheduleOutcome {
         let m = matrix.component_count();
-        self.run_masked(matrix, vec![true; m], 0)
+        self.run_masked(matrix, &mut vec![true; m], 0)
     }
 
     /// [`ComponentScheduler::run`] with an explicit initial candidate set
@@ -146,12 +146,17 @@ impl ComponentScheduler {
     /// candidate set (Algorithm 1 removes migrated components) and their
     /// moves consume the interval's budget.
     ///
+    /// The mask is borrowed, not owned, so a grouped caller (the
+    /// hierarchical scheduler) can reuse one allocation across many group
+    /// runs. On return, the bits of accepted migrants are cleared; the
+    /// caller's other bits are left as the greedy last saw them.
+    ///
     /// # Panics
     /// Panics if `candidates` does not have one entry per component.
     pub fn run_masked(
         &self,
         matrix: &mut PerformanceMatrix,
-        mut candidates: Vec<bool>,
+        candidates: &mut [bool],
         prior_migrations: usize,
     ) -> ScheduleOutcome {
         assert_eq!(
@@ -176,7 +181,7 @@ impl ComponentScheduler {
             }
             iterations += 1;
             // Lines 6–8: best entry with self-gain tie-break.
-            let Some(best) = matrix.best_candidate(&candidates) else {
+            let Some(best) = matrix.best_candidate(candidates) else {
                 break;
             };
             // Line 9: threshold test (strictly greater, as in the paper).
@@ -186,7 +191,7 @@ impl ComponentScheduler {
             // Lines 10–13: accept, remove from candidates, UpdateMatrix.
             candidates[best.component.index()] = false;
             remaining -= 1;
-            let from = matrix.apply_migration(best.component, best.destination, &candidates);
+            let from = matrix.apply_migration(best.component, best.destination, candidates);
             if self.config.full_rebuild {
                 matrix.rebuild_entries();
             }
@@ -352,18 +357,18 @@ mod tests {
         // Components 0 and 1 are masked out: nothing movable remains on
         // the hot nodes, so the greedy finds no worthwhile move.
         let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
-        let outcome = scheduler.run_masked(&mut matrix, vec![false, false, true, true], 0);
+        let outcome = scheduler.run_masked(&mut matrix, &mut [false, false, true, true], 0);
         assert!(outcome.decisions.is_empty());
 
         // A prior spend of 2 exhausts the interval budget outright.
         let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
-        let outcome = scheduler.run_masked(&mut matrix, vec![true; 4], 2);
+        let outcome = scheduler.run_masked(&mut matrix, &mut [true; 4], 2);
         assert!(outcome.decisions.is_empty());
         assert_eq!(outcome.iterations, 0);
 
         // With one prior migration, at most one more is accepted.
         let mut matrix = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
-        let outcome = scheduler.run_masked(&mut matrix, vec![true; 4], 1);
+        let outcome = scheduler.run_masked(&mut matrix, &mut [true; 4], 1);
         assert!(outcome.decisions.len() <= 1);
     }
 

@@ -31,6 +31,13 @@ pub struct SweepParams {
     /// them before the plan is built). `None` keeps the scenario's
     /// default grid.
     pub techniques: Option<Vec<String>>,
+    /// Override of the hierarchical scheduler's per-group component cap,
+    /// where applicable (the `scale` scenario). The CLI rejects 0.
+    pub group_cap: Option<usize>,
+    /// Override of a scenario's cluster-size grid, where applicable (the
+    /// `scale` scenario's node counts). The CLI rejects empty lists and
+    /// degenerate sizes.
+    pub sizes: Option<Vec<usize>>,
 }
 
 impl Default for SweepParams {
@@ -44,6 +51,8 @@ impl Default for SweepParams {
             rates: None,
             repeats: None,
             techniques: None,
+            group_cap: None,
+            sizes: None,
         }
     }
 }

@@ -23,6 +23,14 @@ pub enum PlacementStrategy {
     /// a homogeneous cluster; on a heterogeneous one it stops the weak
     /// nodes from receiving an equal share.
     CapacityAware,
+    /// Rack-striped anti-affine placement
+    /// ([`crate::placement::rack_aware`]): consecutive components cycle
+    /// across racks (so every rack hosts a share of every stage) and
+    /// replicas additionally prefer distinct racks — the provisioning
+    /// baseline of the two-level hierarchical scheduler. With
+    /// [`SimConfig::rack_count`] = 1 it degrades to [`Self::AntiAffine`]
+    /// semantics.
+    RackAware,
 }
 
 /// How the service's logical partitions map onto physical components.
@@ -52,6 +60,11 @@ pub struct SimConfig {
     pub drain_grace: SimDuration,
     /// Number of physical nodes.
     pub node_count: usize,
+    /// Number of racks the nodes are divided into (two-level cluster
+    /// topology). Nodes are assigned to racks in balanced contiguous
+    /// blocks ([`SimConfig::rack_of`]); 1 — the default everywhere —
+    /// keeps the flat single-rack cluster of the paper's testbed.
+    pub rack_count: usize,
     /// Per-node hardware capacity (homogeneous, like the paper's testbed).
     pub node_capacity: NodeCapacity,
     /// Per-node capacities for heterogeneous clusters. When set, its
@@ -119,6 +132,7 @@ impl SimConfig {
             warmup: SimDuration::from_secs(10),
             drain_grace: SimDuration::from_secs(5),
             node_count: 30,
+            rack_count: 1,
             node_capacity: NodeCapacity::XEON_E5645,
             node_capacities: None,
             placement: PlacementStrategy::AntiAffine,
@@ -145,6 +159,13 @@ impl SimConfig {
     /// replication exceeding the node count, non-positive arrival rate…).
     pub fn validate(&self) {
         assert!(self.node_count > 0, "need at least one node");
+        assert!(self.rack_count > 0, "need at least one rack");
+        assert!(
+            self.rack_count <= self.node_count,
+            "rack count ({}) cannot exceed the node count ({})",
+            self.rack_count,
+            self.node_count
+        );
         assert!(self.deployment.replication > 0, "replication must be >= 1");
         assert!(
             self.deployment.replication <= self.node_count,
@@ -232,6 +253,20 @@ impl SimConfig {
     pub fn component_count(&self) -> usize {
         self.topology.component_count()
     }
+
+    /// Rack index of a node: balanced contiguous blocks
+    /// (`node · racks / nodes`), so rack sizes differ by at most one and
+    /// the mapping is a pure function of the config — no allocation, no
+    /// state.
+    pub fn rack_of(&self, node: usize) -> usize {
+        debug_assert!(node < self.node_count);
+        node * self.rack_count / self.node_count
+    }
+
+    /// The dense node→rack assignment vector.
+    pub fn rack_assignments(&self) -> Vec<usize> {
+        (0..self.node_count).map(|n| self.rack_of(n)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +322,47 @@ mod tests {
             amplitude: 1.5,
             period: SimDuration::from_secs(40),
         };
+        cfg.validate();
+    }
+
+    #[test]
+    fn rack_assignment_is_balanced_contiguous_blocks() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 10;
+        cfg.rack_count = 3;
+        cfg.validate();
+        assert_eq!(cfg.rack_assignments(), vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Rack sizes differ by at most one for any (nodes, racks) split.
+        for nodes in 1..40 {
+            for racks in 1..=nodes {
+                cfg.node_count = nodes;
+                cfg.rack_count = racks;
+                let mut sizes = vec![0usize; racks];
+                for n in 0..nodes {
+                    sizes[cfg.rack_of(n)] += 1;
+                }
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "{nodes} nodes / {racks} racks: {sizes:?}");
+                assert!(sizes.iter().all(|&s| s > 0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.rack_count = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the node count")]
+    fn more_racks_than_nodes_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_count = 4;
+        cfg.rack_count = 5;
         cfg.validate();
     }
 

@@ -61,7 +61,8 @@ pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
 pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};
 pub use policy::{
-    BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerHook,
+    BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerCost,
+    SchedulerHook,
 };
 pub use request::RequestTable;
 pub use world::Simulation;

@@ -10,6 +10,7 @@
 //! Plus operational counters that explain the mechanisms: executions,
 //! wasted (duplicate) executions, cancellations, reissues, migrations.
 
+use crate::policy::SchedulerCost;
 use pcs_monitor::{LatencyRecorder, LatencySummary};
 use pcs_types::{SimDuration, SimTime};
 
@@ -138,6 +139,10 @@ pub struct RunReport {
     /// timers, monitor/scheduler ticks, …). Fuels the bench harness's
     /// events/sec metric; deliberately absent from scenario reports.
     pub events_processed: u64,
+    /// Deterministic scheduler work counters, if the technique's hook
+    /// tracks them ([`SchedulerHook::cost`](crate::SchedulerHook::cost)).
+    /// `None` for non-migrating techniques.
+    pub scheduler_cost: Option<SchedulerCost>,
 }
 
 impl RunReport {
@@ -249,6 +254,7 @@ mod tests {
             stats: TechniqueStats::default(),
             faults: FaultReport::default(),
             events_processed: 0,
+            scheduler_cost: None,
         };
         assert!((report.component_p99_ms() - 99.01).abs() < 0.1);
         assert!((report.overall_mean_ms() - 50.5).abs() < 0.01);

@@ -94,6 +94,104 @@ pub fn anti_affine(
     }
 }
 
+/// Rack-striped placement with replica anti-affinity, the provisioning
+/// baseline of the two-level hierarchical scheduler.
+///
+/// Nodes are visited in an order that cycles across racks (first node of
+/// each rack, then the second of each, …), so consecutive components —
+/// hence the partitions of every stage — spread over all racks instead of
+/// filling one rack before touching the next. Replica groups additionally
+/// prefer *rack*-distinct homes: a node whose rack already hosts a group
+/// member is only chosen when every rack conflicts, and a node-level
+/// conflict is never accepted unless every live node conflicts (the same
+/// fallback ladder as [`anti_affine`], which this strategy reproduces
+/// exactly when `racks` maps every node to rack 0).
+///
+/// # Panics
+/// Panics unless `racks` has `node_count` entries and `alive` marks at
+/// least one node live.
+pub fn rack_aware(
+    components: &mut [PhysicalComponent],
+    deployment: &crate::component::Deployment,
+    racks: &[usize],
+    alive: &[bool],
+) {
+    let node_count = racks.len();
+    assert!(node_count > 0, "need at least one node");
+    assert_eq!(alive.len(), node_count, "one liveness flag per node");
+    assert!(alive.iter().any(|&a| a), "need at least one live node");
+    let rack_count = racks.iter().max().map_or(1, |&r| r + 1);
+
+    // Visiting order striping across racks: position `p` of rack 0, then
+    // position `p` of rack 1, …, before any rack's position `p + 1`.
+    let mut by_rack: Vec<Vec<NodeId>> = vec![Vec::new(); rack_count];
+    for (n, &r) in racks.iter().enumerate() {
+        by_rack[r].push(NodeId::from_index(n));
+    }
+    let deepest = by_rack.iter().map(Vec::len).max().unwrap_or(0);
+    let mut order: Vec<NodeId> = Vec::with_capacity(node_count);
+    for depth in 0..deepest {
+        for rack in &by_rack {
+            if let Some(&node) = rack.get(depth) {
+                order.push(node);
+            }
+        }
+    }
+
+    let memberships = group_memberships(deployment, components.len());
+    let mut placed: Vec<Option<NodeId>> = vec![None; components.len()];
+    let mut cursor = 0usize;
+    for i in 0..components.len() {
+        let node_conflicts = |node: NodeId, placed: &[Option<NodeId>]| -> bool {
+            memberships[i].iter().any(|g| {
+                (0..components.len())
+                    .any(|j| j != i && placed[j] == Some(node) && memberships[j].contains(g))
+            })
+        };
+        let rack_conflicts = |node: NodeId, placed: &[Option<NodeId>]| -> bool {
+            memberships[i].iter().any(|g| {
+                (0..components.len()).any(|j| {
+                    j != i
+                        && placed[j].is_some_and(|p| racks[p.index()] == racks[node.index()])
+                        && memberships[j].contains(g)
+                })
+            })
+        };
+        // Preference ladder: rack-distinct > node-distinct > any live node.
+        let mut chosen: Option<usize> = None;
+        let mut node_ok: Option<usize> = None;
+        let mut fallback: Option<usize> = None;
+        for step in 0..node_count {
+            let pos = (cursor + step) % node_count;
+            let candidate = order[pos];
+            if !alive[candidate.index()] {
+                continue;
+            }
+            if fallback.is_none() {
+                fallback = Some(pos);
+            }
+            if node_conflicts(candidate, &placed) {
+                continue;
+            }
+            if node_ok.is_none() {
+                node_ok = Some(pos);
+            }
+            if !rack_conflicts(candidate, &placed) {
+                chosen = Some(pos);
+                break;
+            }
+        }
+        let pos = chosen
+            .or(node_ok)
+            .or(fallback)
+            .expect("at least one live node");
+        let node = order[pos];
+        placed[i] = Some(node);
+        components[i].node = node;
+        cursor = pos + 1;
+    }
+}
+
 /// Capacity-proportional placement with replica anti-affinity: every
 /// component goes to the node with the lowest *capacity-weighted* fill
 /// `(hosted + 1) / weight` among the nodes that don't conflict with any
@@ -243,6 +341,75 @@ mod tests {
         let mut comps = dep.instantiate(&topo);
         anti_affine(&mut comps, &dep, 30, &[true; 30]);
         assert!(replicas_on_distinct_nodes(&dep, &comps));
+    }
+
+    #[test]
+    fn rack_aware_stripes_stages_across_racks_and_separates_replica_racks() {
+        let topo = ServiceTopology::nutch(12);
+        let dep = Deployment::new(&topo, 2);
+        let mut comps = dep.instantiate(&topo);
+        // 12 nodes in 3 racks of 4.
+        let racks: Vec<usize> = (0..12).map(|n| n / 4).collect();
+        rack_aware(&mut comps, &dep, &racks, &[true; 12]);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+        // Every rack hosts a share of the wide searching stage.
+        let mut rack_hosts = vec![0usize; 3];
+        for c in &comps {
+            rack_hosts[racks[c.node.index()]] += 1;
+        }
+        assert!(
+            rack_hosts.iter().all(|&h| h > 0),
+            "all racks must host components: {rack_hosts:?}"
+        );
+        let min = rack_hosts.iter().min().unwrap();
+        let max = rack_hosts.iter().max().unwrap();
+        assert!(
+            max - min <= 2,
+            "striping must balance racks: {rack_hosts:?}"
+        );
+        // Replicas land in distinct racks (3 racks ≥ replication 2).
+        for stage in 0..dep.stage_count() {
+            for p in 0..dep.partition_count(stage as u32) {
+                let group = dep.replicas(stage as u32, p as u32);
+                let mut group_racks: Vec<usize> = group
+                    .iter()
+                    .map(|c| racks[comps[c.index()].node.index()])
+                    .collect();
+                group_racks.sort_unstable();
+                group_racks.dedup();
+                assert_eq!(
+                    group_racks.len(),
+                    group.len(),
+                    "replica group {stage}/{p} shares a rack"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rack_aware_single_rack_matches_anti_affine() {
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 3);
+        let mut a = dep.instantiate(&topo);
+        let mut b = dep.instantiate(&topo);
+        anti_affine(&mut a, &dep, 8, &[true; 8]);
+        rack_aware(&mut b, &dep, &[0usize; 8], &[true; 8]);
+        let nodes = |cs: &[PhysicalComponent]| cs.iter().map(|c| c.node).collect::<Vec<_>>();
+        assert_eq!(nodes(&a), nodes(&b));
+    }
+
+    #[test]
+    fn rack_aware_skips_dead_nodes() {
+        let topo = ServiceTopology::nutch(10);
+        let dep = Deployment::new(&topo, 2);
+        let racks: Vec<usize> = (0..6).map(|n| n / 3).collect();
+        let alive = [true, false, true, true, false, true];
+        let mut comps = dep.instantiate(&topo);
+        rack_aware(&mut comps, &dep, &racks, &alive);
+        assert!(replicas_on_distinct_nodes(&dep, &comps));
+        for c in &comps {
+            assert!(alive[c.node.index()], "{} on dead node {}", c.id, c.node);
+        }
     }
 
     #[test]

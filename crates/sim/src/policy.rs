@@ -151,6 +151,17 @@ pub struct SchedulerContext<'a> {
     /// component with one of its peers is rejected by the world, so
     /// destination-picking hooks should skip peer-hosting nodes.
     pub replica_peers: &'a [Vec<ComponentId>],
+    /// Monotonic per-node demand-version counters, bumped on every
+    /// demand mutation (job start/finish, component demand update,
+    /// kill). An unchanged version since the previous interval
+    /// guarantees the node's demand composition is unchanged, so
+    /// incremental maintainers (the hierarchical PCS controller's
+    /// matrix refresh) can skip re-deriving its state.
+    pub demand_versions: &'a [u64],
+    /// Rack index per node (balanced contiguous blocks; all zeros on a
+    /// single-rack cluster). Rack-aware hooks group components by the
+    /// rack of their hosting node.
+    pub rack_of: &'a [usize],
 }
 
 impl SchedulerContext<'_> {
@@ -176,6 +187,32 @@ impl SchedulerContext<'_> {
     }
 }
 
+/// Deterministic per-run scheduler work counters, accumulated by a
+/// [`SchedulerHook`] and surfaced in the run report.
+///
+/// Every field is an event count, never a wall-clock measurement, so the
+/// numbers are reproducible across machines and thread counts and safe to
+/// pin in scenario reports. `entries_recomputed / entries_total` is the
+/// fraction of performance-matrix work an incremental maintainer actually
+/// performed relative to rebuilding from scratch at every interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerCost {
+    /// Scheduling intervals on which analysis ran (the early-out path for
+    /// quiet intervals is not counted).
+    pub intervals: u64,
+    /// Full performance-matrix constructions.
+    pub matrix_builds: u64,
+    /// Incremental performance-matrix refreshes.
+    pub matrix_refreshes: u64,
+    /// Matrix entries actually recomputed (builds count every entry).
+    pub entries_recomputed: u64,
+    /// Matrix entries a full rebuild at every counted interval would have
+    /// recomputed (`m * k` per interval).
+    pub entries_total: u64,
+    /// Greedy candidate-selection iterations across all intervals.
+    pub greedy_iterations: u64,
+}
+
 /// A migration order returned by a scheduler hook.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationRequest {
@@ -199,6 +236,14 @@ pub trait SchedulerHook {
     /// derivations touch the RNG or mutate simulation state.
     fn wants_context(&self) -> bool {
         true
+    }
+
+    /// Deterministic work counters accumulated over the run, copied into
+    /// [`RunReport::scheduler_cost`](crate::RunReport::scheduler_cost)
+    /// when the run ends. The default (`None`) means the hook does not
+    /// track cost.
+    fn cost(&self) -> Option<SchedulerCost> {
+        None
     }
 }
 
@@ -248,6 +293,8 @@ mod tests {
             ground_truth_demand: &[],
             node_status: &[],
             replica_peers: &[],
+            demand_versions: &[],
+            rack_of: &[],
         };
         assert!(hook.on_interval(&ctx).is_empty());
     }

@@ -29,6 +29,9 @@ struct CtxBuffers {
     /// Node capacities never change mid-run: filled once at construction.
     caps: Vec<pcs_types::NodeCapacity>,
     status: Vec<crate::faults::NodeStatus>,
+    versions: Vec<u64>,
+    /// Node→rack assignment; static like `caps`, filled once.
+    racks: Vec<usize>,
 }
 
 /// The empty [`SchedulerContext`] handed (in debug builds) to hooks that
@@ -45,6 +48,8 @@ fn empty_context(now: SimTime) -> SchedulerContext<'static> {
         ground_truth_demand: &[],
         node_status: &[],
         replica_peers: &[],
+        demand_versions: &[],
+        rack_of: &[],
     }
 }
 
@@ -166,6 +171,12 @@ impl Simulation {
                 &cluster.capacities(),
                 &initial_alive,
             ),
+            crate::config::PlacementStrategy::RackAware => placement::rack_aware(
+                &mut comps,
+                &deployment,
+                &config.rack_assignments(),
+                &initial_alive,
+            ),
         }
         debug_assert!(placement::replicas_on_distinct_nodes(&deployment, &comps));
 
@@ -251,6 +262,7 @@ impl Simulation {
         };
         world.ctx_bufs.caps = world.cluster.capacities();
         world.ctx_bufs.windows = vec![Vec::new(); world.config.node_count];
+        world.ctx_bufs.racks = world.config.rack_assignments();
         world.rng = std::mem::replace(&mut rng, SmallRng::seed_from_u64(0));
 
         // Latency recorders sized from the run budget: arrivals over the
@@ -348,6 +360,7 @@ impl Simulation {
             stats: self.collectors.stats,
             faults: self.collectors.fault_report(unresolved_orphans),
             events_processed,
+            scheduler_cost: self.hook.cost(),
         }
     }
 
@@ -1116,6 +1129,7 @@ impl Simulation {
         );
         bufs.demands.clear();
         bufs.status.clear();
+        bufs.versions.clear();
         for n in 0..self.cluster.len() {
             let node = self.cluster.node(NodeId::from_index(n));
             bufs.demands.push(node.total_demand());
@@ -1124,6 +1138,8 @@ impl Simulation {
             } else {
                 crate::faults::NodeStatus::Down
             });
+            bufs.versions
+                .push(self.cluster.demand_version(NodeId::from_index(n)));
         }
         let ctx = SchedulerContext {
             now,
@@ -1136,6 +1152,8 @@ impl Simulation {
             ground_truth_demand: &bufs.demands,
             node_status: &bufs.status,
             replica_peers: &self.replica_peers,
+            demand_versions: &bufs.versions,
+            rack_of: &bufs.racks,
         };
         let migrations = self.hook.on_interval(&ctx);
         for mr in migrations {

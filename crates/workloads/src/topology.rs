@@ -244,6 +244,61 @@ impl ServiceTopology {
         ServiceTopology::new(classes, stages)
     }
 
+    /// A deep sequential pipeline: `depth` stages of `width` parallel
+    /// components each, cycling through the three Nutch-like classes
+    /// (CPU-, cache/disk- and network-sensitive). Eq. 4 sums `depth`
+    /// stage maxima, so tail quality degrades with depth unless the
+    /// scheduler keeps *every* stage's straggler in check — the stress
+    /// case for hierarchical scheduling at cluster scale.
+    ///
+    /// # Panics
+    /// Panics unless `depth` and `width` are positive.
+    pub fn deep_chain(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "need at least one stage");
+        assert!(width > 0, "need at least one component per stage");
+        let classes = ServiceTopology::nutch(1).classes;
+        let stages = (0..depth)
+            .map(|s| Stage {
+                name: format!("chain{s}"),
+                class: s % classes.len(),
+                count: width,
+            })
+            .collect();
+        ServiceTopology::new(classes, stages)
+    }
+
+    /// A wide scatter-gather service: one router, `workers` parallel
+    /// search-like workers, `mergers` parallel aggregators. The worker
+    /// stage's max dominates Eq. 4 (one straggler among hundreds sets
+    /// the latency), so tail quality hinges on the scheduler finding the
+    /// single worst co-location in a huge candidate space.
+    ///
+    /// # Panics
+    /// Panics unless `workers` and `mergers` are positive.
+    pub fn wide_fanout(workers: usize, mergers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(mergers > 0, "need at least one merger");
+        let classes = ServiceTopology::nutch(1).classes;
+        let stages = vec![
+            Stage {
+                name: "route".into(),
+                class: 0,
+                count: 1,
+            },
+            Stage {
+                name: "fanout".into(),
+                class: 1,
+                count: workers,
+            },
+            Stage {
+                name: "merge".into(),
+                class: 2,
+                count: mergers,
+            },
+        ];
+        ServiceTopology::new(classes, stages)
+    }
+
     /// A minimal single-stage, single-class topology (tests/examples).
     pub fn single_stage(count: usize, class: ComponentClass) -> Self {
         ServiceTopology::new(
@@ -387,6 +442,25 @@ mod tests {
             vec![(0, 0), (1, 0), (1, 1), (1, 2), (2, 0)],
             "layout must enumerate stages in order"
         );
+    }
+
+    #[test]
+    fn deep_chain_shape() {
+        let t = ServiceTopology::deep_chain(8, 12);
+        assert_eq!(t.stage_count(), 8);
+        assert_eq!(t.component_count(), 96);
+        // Classes cycle so consecutive stages stress different resources.
+        assert_ne!(t.stages()[0].class, t.stages()[1].class);
+        assert_eq!(t.stages()[0].class, t.stages()[3].class);
+    }
+
+    #[test]
+    fn wide_fanout_shape() {
+        let t = ServiceTopology::wide_fanout(90, 5);
+        assert_eq!(t.stage_count(), 3);
+        assert_eq!(t.component_count(), 96);
+        assert_eq!(t.stages()[1].count, 90);
+        assert_eq!(t.stage_class(1).name, "searching");
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   pinned scenario grids: the fig6 smoke grid (Basic/RED-2/PCS at
 //!   80 req/s) and the failures smoke grid (Basic/LL/PCS under a
 //!   single-kill outage), plus heavier full-grid cells outside `--smoke`.
+//! * **scheduler-cost benches** — the per-interval cost of maintaining
+//!   and running the scheduler at growing cluster sizes (`m = k` = 100,
+//!   400, 1000), flat full-rebuild + global greedy versus the `PCS-H`
+//!   loop (incremental [`pcs_core::PerformanceMatrix::refresh`] +
+//!   rack-grouped bounded greedy) over an identical monitored-drift
+//!   sequence. Reports wall-clock *and* the deterministic
+//!   entries-recomputed-per-interval.
 //! * **scenario sweeps** — every registered scenario family, run through
 //!   the real [`pcs_harness::run_sweep`] on smoke budgets, so a perf
 //!   regression anywhere in the registry shows up as wall-clock.
@@ -27,11 +34,18 @@
 //! untouched by benching.
 
 use crate::experiments::fig6::{self, Fig6Config};
+use crate::experiments::fig7;
 use crate::scenarios::{self, base_grid, train_models};
 use crate::techniques::{self, TechniqueRef};
-use pcs_core::ClassModelSet;
+use pcs_core::{
+    ClassModelSet, ComponentInput, ComponentScheduler, HierarchicalScheduler, MatrixConfig,
+    MatrixInputs, NodeInput, PerformanceMatrix, SchedulerConfig,
+};
 use pcs_harness::{run_sweep, Json, SweepParams};
 use pcs_sim::SimConfig;
+use pcs_types::{ComponentId, NodeCapacity, NodeId, ResourceVector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -166,6 +180,218 @@ fn grid_benches(
     out
 }
 
+/// Stages of the scheduler-cost synthetic service (deep-chain-like:
+/// narrow stage maxima, so the greedy finds real migrations).
+const SCHED_STAGES: usize = 8;
+
+/// Scheduling intervals timed per scheduler-cost row.
+const SCHED_INTERVALS: usize = 4;
+
+/// Nodes per rack of the synthetic cluster (matches the `scale`
+/// scenario's rack shape).
+const SCHED_NODES_PER_RACK: usize = 20;
+
+/// Group cap of the hierarchical rows (the `hier` registry default).
+const SCHED_GROUP_CAP: usize = 64;
+
+/// The synthetic cluster the scheduler-cost benches maintain a matrix
+/// over: `size` components packed on the first `size / 2` nodes, the
+/// other half spare migration targets carrying only background (batch)
+/// load. Between intervals only a rotating handful of **spare** nodes'
+/// background demand drifts ([`sched_drift`]) — the steady-state regime
+/// Algorithm 2 targets: topology and placements fixed, a few nodes'
+/// external load moves. An incremental refresh then re-evaluates just
+/// the dirtied columns, while a flat rebuild always pays all `m·k`
+/// entries; resident components' own estimates are untouched so the
+/// Eq. 4 overall is bit-stable and the refresh never has to fall back
+/// to a full rebuild.
+fn sched_inputs(size: usize, seed: u64) -> MatrixInputs {
+    assert!(size >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let packed = size / 2;
+    let capacity = NodeCapacity::XEON_E5645;
+    let mut nodes: Vec<NodeInput> = (0..size)
+        .map(|j| {
+            let load: f64 = rng.gen::<f64>() * 4.0;
+            NodeInput {
+                id: NodeId::from_index(j),
+                capacity,
+                demand: ResourceVector::new(load, load * 2.0, load * 12.0, load * 6.0),
+                samples: vec![],
+            }
+        })
+        .collect();
+    let components: Vec<ComponentInput> = (0..size)
+        .map(|i| {
+            let node = NodeId::from_index(i % packed);
+            let demand = ResourceVector::new(0.8, 2.0, 6.0, 2.0);
+            nodes[node.index()].demand += demand;
+            ComponentInput {
+                id: ComponentId::from_index(i),
+                class: 0,
+                stage: i % SCHED_STAGES,
+                node,
+                demand,
+                arrival_rate: 50.0,
+                scv: 1.0,
+            }
+        })
+        .collect();
+    MatrixInputs {
+        nodes,
+        components,
+        stage_count: SCHED_STAGES,
+    }
+}
+
+/// Interval `t`'s monitored drift: ~10% of the spare nodes (rotating
+/// with `t`) report a new background demand. Resident components are
+/// untouched, so this is exactly the partial-refresh case.
+fn sched_drift(inputs: &mut MatrixInputs, t: usize) {
+    let size = inputs.nodes.len();
+    let packed = size / 2;
+    let spare = size - packed;
+    let changed = (spare / 10).max(1);
+    for c in 0..changed {
+        let j = packed + (t * changed + c) % spare;
+        let load = 0.5 + 0.35 * ((t + c) % 7) as f64;
+        inputs.nodes[j].demand = ResourceVector::new(load, load * 2.0, load * 12.0, load * 6.0);
+    }
+}
+
+/// Components grouped by the rack of their home node (the level-1 walk
+/// of the two-level scheduler, racks of [`SCHED_NODES_PER_RACK`]).
+fn sched_rack_groups(inputs: &MatrixInputs) -> Vec<Vec<usize>> {
+    let racks = inputs.nodes.len().div_ceil(SCHED_NODES_PER_RACK);
+    let mut groups = vec![Vec::new(); racks];
+    for (i, c) in inputs.components.iter().enumerate() {
+        groups[c.node.index() / SCHED_NODES_PER_RACK].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// One scheduler-cost row.
+struct SchedRow {
+    name: String,
+    size: usize,
+    wall_ms: f64,
+    entries: u64,
+    migrations: u64,
+    iterations: u64,
+}
+
+impl SchedRow {
+    fn to_json(&self) -> Json {
+        let intervals = SCHED_INTERVALS as f64;
+        Json::object(vec![
+            ("bench".into(), Json::from(self.name.clone())),
+            ("nodes".into(), Json::from(self.size)),
+            ("components".into(), Json::from(self.size)),
+            ("intervals".into(), Json::from(SCHED_INTERVALS)),
+            ("wall_ms".into(), Json::Num(self.wall_ms)),
+            (
+                "ms_per_interval".into(),
+                Json::Num(self.wall_ms / intervals),
+            ),
+            (
+                "entries_per_interval".into(),
+                Json::Num(self.entries as f64 / intervals),
+            ),
+            ("migrations".into(), Json::from(self.migrations)),
+            ("greedy_iterations".into(), Json::from(self.iterations)),
+        ])
+    }
+}
+
+/// The per-interval cost of maintaining and running the scheduler, flat
+/// vs hierarchical, at growing cluster sizes (`m = k = size`).
+///
+/// * `scheduler/flat@N` — every interval rebuilds the full matrix and
+///   runs the global greedy, the baseline controller's loop.
+/// * `scheduler/hier@N` — one build up front (excluded from the timed
+///   region: the controller pays it once per run, not per interval),
+///   then every interval incrementally refreshes the carried matrix,
+///   clones it, and runs the rack-grouped bounded greedy — the
+///   `PCS-H` controller's loop.
+///
+/// Both variants replay the identical drift sequence, so wall-clock and
+/// the deterministic `entries_per_interval` are directly comparable.
+fn scheduler_benches(smoke: bool, repeats: usize) -> Vec<SchedRow> {
+    let sizes: &[usize] = if smoke { &[100] } else { &[100, 400, 1000] };
+    let models = fig7::synthetic_models();
+    let config = SchedulerConfig {
+        epsilon_secs: 0.0001,
+        max_migrations: None,
+        full_rebuild: false,
+    };
+    let matrix_config = MatrixConfig::default();
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let seed = 62015 + size as u64;
+
+        eprintln!("bench: scheduler/flat@{size} ...");
+        let scheduler = ComponentScheduler::new(config);
+        let mut flat = SchedRow {
+            name: format!("scheduler/flat@{size}"),
+            size,
+            wall_ms: f64::INFINITY,
+            entries: (size * size * SCHED_INTERVALS) as u64,
+            migrations: 0,
+            iterations: 0,
+        };
+        for _ in 0..repeats {
+            let mut inputs = sched_inputs(size, seed);
+            let started = Instant::now();
+            let (mut migrations, mut iterations) = (0u64, 0u64);
+            for t in 0..SCHED_INTERVALS {
+                sched_drift(&mut inputs, t);
+                let mut matrix = PerformanceMatrix::build(&inputs, &models, matrix_config);
+                let outcome = scheduler.run(&mut matrix);
+                migrations += outcome.decisions.len() as u64;
+                iterations += outcome.iterations as u64;
+            }
+            flat.wall_ms = flat.wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            flat.migrations = migrations;
+            flat.iterations = iterations;
+        }
+        rows.push(flat);
+
+        eprintln!("bench: scheduler/hier@{size} ...");
+        let hier_scheduler = HierarchicalScheduler::new(config, SCHED_GROUP_CAP);
+        let mut hier = SchedRow {
+            name: format!("scheduler/hier@{size}"),
+            size,
+            wall_ms: f64::INFINITY,
+            entries: 0,
+            migrations: 0,
+            iterations: 0,
+        };
+        for _ in 0..repeats {
+            let mut inputs = sched_inputs(size, seed);
+            let groups = sched_rack_groups(&inputs);
+            let allowed = vec![true; size];
+            let mut carried = PerformanceMatrix::build(&inputs, &models, matrix_config);
+            let started = Instant::now();
+            let (mut entries, mut migrations, mut iterations) = (0u64, 0u64, 0u64);
+            for t in 0..SCHED_INTERVALS {
+                sched_drift(&mut inputs, t);
+                entries += carried.refresh(&inputs).entries_recomputed as u64;
+                let mut matrix = carried.clone();
+                let outcome = hier_scheduler.run_grouped(&mut matrix, &groups, &allowed, 0);
+                migrations += outcome.decisions.len() as u64;
+                iterations += outcome.iterations as u64;
+            }
+            hier.wall_ms = hier.wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            hier.entries = entries;
+            hier.migrations = migrations;
+            hier.iterations = iterations;
+        }
+        rows.push(hier);
+    }
+    rows
+}
+
 /// Runs the bench suite and assembles the report.
 ///
 /// Progress goes to stderr; the returned JSON is the report to write.
@@ -229,6 +455,12 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
         ]));
     }
 
+    // ---- scheduler-cost benches --------------------------------------
+    let scheduler_rows: Vec<Json> = scheduler_benches(params.smoke, repeats)
+        .iter()
+        .map(SchedRow::to_json)
+        .collect();
+
     // ---- scenario sweeps ---------------------------------------------
     let mut scenario_rows = Vec::new();
     for scenario in selected {
@@ -273,6 +505,7 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
         ("repeats".into(), Json::from(repeats)),
         ("threads".into(), Json::from(params.threads)),
         ("event_loop".into(), Json::Array(event_loop)),
+        ("scheduler".into(), Json::Array(scheduler_rows)),
         ("scenarios".into(), Json::Array(scenario_rows)),
     ];
     if let Some(baseline) = &params.baseline {
@@ -524,5 +757,57 @@ mod tests {
     fn check_rejects_garbage() {
         assert!(check_report("not json").is_err());
         assert!(check_report("{\"schema\":\"other\"}").is_err());
+    }
+
+    /// The load-bearing claim of the scheduler section: under the
+    /// steady-state drift (spare-node background load moves, placements
+    /// and resident estimates do not), the incremental refresh
+    /// re-evaluates a small fraction of the matrix while the flat loop
+    /// always pays all m·k entries — and the refreshed matrix plus the
+    /// grouped greedy still find real migrations.
+    #[test]
+    fn hierarchical_maintenance_recomputes_a_fraction_of_the_matrix() {
+        let rows = scheduler_benches(true, 1);
+        assert_eq!(rows.len(), 2);
+        let flat = &rows[0];
+        let hier = &rows[1];
+        assert!(flat.name.starts_with("scheduler/flat@"));
+        assert!(hier.name.starts_with("scheduler/hier@"));
+        assert_eq!(flat.entries, (100 * 100 * SCHED_INTERVALS) as u64);
+        assert!(
+            hier.entries * 4 < flat.entries,
+            "incremental refresh must recompute < 25% of the flat rebuild's entries, \
+             got {} vs {}",
+            hier.entries,
+            flat.entries
+        );
+        assert!(flat.migrations > 0 && hier.migrations > 0);
+        assert!(flat.iterations > 0 && hier.iterations > 0);
+    }
+
+    /// The refresh the hier rows time is bit-identical to a fresh build
+    /// on the same drifted inputs (the Algorithm 2 contract, re-checked
+    /// here on the bench's own input shape).
+    #[test]
+    fn sched_drift_refresh_matches_full_build() {
+        let models = fig7::synthetic_models();
+        let mut inputs = sched_inputs(60, 7);
+        let mut carried = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+        for t in 0..3 {
+            sched_drift(&mut inputs, t);
+            let stats = carried.refresh(&inputs);
+            assert!(stats.entries_recomputed < stats.entries_total);
+            let fresh = PerformanceMatrix::build(&inputs, &models, MatrixConfig::default());
+            for i in 0..60 {
+                for j in 0..60 {
+                    let (i, j) = (ComponentId::from_index(i), NodeId::from_index(j));
+                    assert_eq!(
+                        carried.gain(i, j).to_bits(),
+                        fresh.gain(i, j).to_bits(),
+                        "refresh must be bit-identical to build at ({i:?}, {j:?})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -59,6 +59,8 @@ fn usage() -> String {
          \x20 --threads <n>        worker threads (default: all cores)\n\
          \x20 --rates <a,b,c>      arrival-rate grid override, req/s\n\
          \x20 --repeats <n>        repeat count override (fig7)\n\
+         \x20 --sizes <a,b,c>      cluster-size grid override, nodes (scale)\n\
+         \x20 --group-cap <n>      PCS-H per-group component cap (scale)\n\
          \x20 --smoke              tiny CI budgets (short horizon, small grid)\n\
          \x20 --json <path>        also write the machine-readable report\n\
          \x20 --quiet              suppress the cell table\n\
@@ -204,6 +206,38 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     techniques::parse_list(&list).map_err(|e| format!("--techniques: {e}"))?;
                 params.techniques = Some(specs.iter().map(|s| s.name()).collect());
             }
+            "--group-cap" => {
+                let cap: usize = value("--group-cap")?
+                    .parse()
+                    .map_err(|e| format!("--group-cap: {e}"))?;
+                if !(1..=techniques::MAX_GROUP_CAP).contains(&cap) {
+                    return Err(format!(
+                        "--group-cap: must be in 1..={}, got {cap} (0 would forbid every group)",
+                        techniques::MAX_GROUP_CAP
+                    ));
+                }
+                params.group_cap = Some(cap);
+            }
+            "--sizes" => {
+                let list = value("--sizes")?;
+                if list.trim().is_empty() {
+                    return Err(
+                        "--sizes: expected a comma-separated list of at least one cluster size, \
+                         got an empty list"
+                            .to_string(),
+                    );
+                }
+                let sizes: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                let sizes = sizes.map_err(|e| format!("--sizes: {e}"))?;
+                if let Some(bad) = sizes.iter().find(|s| **s < scenarios::scale::MIN_NODES) {
+                    return Err(format!(
+                        "--sizes: cluster sizes must be >= {} nodes, got {bad}",
+                        scenarios::scale::MIN_NODES
+                    ));
+                }
+                params.sizes = Some(sizes);
+            }
             "--smoke" => params.smoke = true,
             "--json" => json_path = Some(value("--json")?),
             "--quiet" => quiet = true,
@@ -244,6 +278,14 @@ fn cmd_run(args: &[String]) -> i32 {
             "scenario `{}` does not sweep techniques; --techniques applies to: {}",
             scenario.name(),
             selectable.join(", ")
+        );
+        return 2;
+    }
+    if (run.params.group_cap.is_some() || run.params.sizes.is_some()) && scenario.name() != "scale"
+    {
+        eprintln!(
+            "scenario `{}` has no cluster-size grid; --sizes/--group-cap apply to: scale",
+            scenario.name()
         );
         return 2;
     }

@@ -10,14 +10,14 @@
 //! like the real system would.
 
 use pcs_core::{
-    ClassModelSet, ComponentInput, ComponentScheduler, MatrixConfig, MatrixInputs,
-    MigrationDecision, NodeInput, PerformanceMatrix, ScheduleOutcome, SchedulerConfig,
-    ThresholdPolicy,
+    ClassModelSet, ComponentInput, ComponentScheduler, HierarchicalScheduler, MatrixConfig,
+    MatrixInputs, MigrationDecision, NodeInput, PerformanceMatrix, PredictionMode, ScheduleOutcome,
+    SchedulerConfig, ThresholdPolicy,
 };
 use pcs_monitor::SamplerConfig;
 use pcs_regression::TrainingConfig;
 use pcs_sim::profiler::profile_class;
-use pcs_sim::{MigrationRequest, SchedulerContext, SchedulerHook};
+use pcs_sim::{MigrationRequest, SchedulerContext, SchedulerCost, SchedulerHook};
 use pcs_types::{ContentionVector, NodeCapacity, NodeId, PcsError, ResourceVector};
 use pcs_workloads::{BatchWorkload, JobSpec, ServiceTopology};
 
@@ -33,6 +33,28 @@ const DEAD_NODE_CONTENTION: ContentionVector = ContentionVector {
     disk_util: 16.0,
     net_util: 16.0,
 };
+
+/// Relative change below which the hierarchical mode considers a
+/// monitored estimate unchanged and reuses the previous interval's value
+/// bit-for-bit. Sampling noise wiggles every estimate a little every
+/// interval; feeding those wiggles to [`PerformanceMatrix::refresh`]
+/// would dirty every row and defeat the incremental maintenance, so small
+/// moves are frozen until they accumulate past this dead-band. The flat
+/// controller re-estimates everything every interval and is unaffected.
+const ESTIMATE_HYSTERESIS: f64 = 0.05;
+
+/// True when `a` and `b` are within the estimate dead-band of each other.
+fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() <= ESTIMATE_HYSTERESIS * a.abs().max(b.abs())
+}
+
+/// Component-wise [`near`] over a demand vector.
+fn near_vec(a: &ResourceVector, b: &ResourceVector) -> bool {
+    near(a.cores, b.cores)
+        && near(a.mpki, b.mpki)
+        && near(a.disk_mbps, b.disk_mbps)
+        && near(a.net_mbps, b.net_mbps)
+}
 
 /// The PCS scheduling framework: monitors → predictor → matrix → greedy
 /// migrations.
@@ -56,6 +78,27 @@ pub struct PcsController {
     /// Last known mean demand per node, carried across intervals for nodes
     /// whose sampling window came back empty.
     last_node_demand: Vec<ResourceVector>,
+    /// Two-level hierarchical mode: per-group component cap (paper §VI-D).
+    /// `None` (the default) is the flat Algorithm 1 controller.
+    hier_group_cap: Option<usize>,
+    /// Carried performance matrix for the hierarchical mode's incremental
+    /// refresh. Kept pristine — the controller schedules on a clone, so
+    /// this copy never sees speculative migration state and the next
+    /// interval's [`PerformanceMatrix::refresh`] diffs against exactly
+    /// what the monitors reported last time.
+    carried: Option<PerformanceMatrix>,
+    /// The (post-hysteresis) inputs behind `carried`, used to freeze
+    /// estimates that have not moved past the dead-band.
+    carried_inputs: Option<MatrixInputs>,
+    /// Per-node demand versions at the previous interval: an unchanged
+    /// version proves the node's demand composition is unchanged, so its
+    /// estimate is reused without any comparison.
+    last_versions: Vec<u64>,
+    /// Per-node liveness at the previous interval (the version shortcut
+    /// only applies to nodes that stayed up across the interval).
+    last_up: Vec<bool>,
+    /// Deterministic work counters surfaced via [`SchedulerHook::cost`].
+    cost: SchedulerCost,
     /// Outcomes of every interval, newest last (diagnostics).
     history: Vec<ScheduleOutcome>,
 }
@@ -78,6 +121,12 @@ impl PcsController {
             scv_override: None,
             ground_truth: false,
             last_node_demand: Vec::new(),
+            hier_group_cap: None,
+            carried: None,
+            carried_inputs: None,
+            last_versions: Vec::new(),
+            last_up: Vec::new(),
+            cost: SchedulerCost::default(),
             history: Vec::new(),
         }
     }
@@ -107,6 +156,25 @@ impl PcsController {
     #[must_use]
     pub fn with_ground_truth(mut self) -> Self {
         self.ground_truth = true;
+        self
+    }
+
+    /// Switches the controller to the two-level hierarchical mode (paper
+    /// §VI-D): components are grouped by the *rack* of their current host
+    /// and scheduled rack by rack with the bounded greedy
+    /// ([`HierarchicalScheduler::run_grouped`]), and the performance
+    /// matrix is maintained incrementally across intervals
+    /// ([`PerformanceMatrix::refresh`]) — refreshing only rows and
+    /// columns whose node state actually changed — instead of rebuilt
+    /// from scratch every interval.
+    ///
+    /// # Panics
+    /// Panics on a zero group cap.
+    #[must_use]
+    pub fn with_hierarchical(mut self, group_cap: usize) -> Self {
+        // Reuse HierarchicalScheduler's validation eagerly.
+        let _ = HierarchicalScheduler::new(self.scheduler_config, group_cap);
+        self.hier_group_cap = Some(group_cap);
         self
     }
 
@@ -220,52 +288,25 @@ impl PcsController {
             stage_count: ctx.stage_count,
         }
     }
-}
 
-impl SchedulerHook for PcsController {
-    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
-        // Nothing monitored yet (first tick on a quiet cluster): wait —
-        // unless a node is already down, in which case the evacuation
-        // pass below must run even on cold monitors.
-        if ctx.sampled_windows.iter().all(|w| w.is_empty())
-            && ctx.node_status.iter().all(|s| s.is_up())
-        {
-            return Vec::new();
-        }
-        let inputs = self.build_inputs(ctx);
-        let mut matrix = PerformanceMatrix::build(&inputs, &self.models, self.matrix_config);
-        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        if *DEBUG.get_or_init(|| std::env::var_os("PCS_DEBUG_CONTROLLER").is_some()) {
-            let candidates = vec![true; inputs.components.len()];
-            eprintln!(
-                "[ctl] t={:?} overall={:.6} best={:?} windows={:?}",
-                ctx.now,
-                matrix.overall_latency(),
-                matrix
-                    .best_candidate(&candidates)
-                    .map(|b| (b.component, b.destination, b.gain)),
-                ctx.sampled_windows
-                    .iter()
-                    .map(|w| w.len())
-                    .collect::<Vec<_>>(),
-            );
-        }
-        let mut config = self.scheduler_config;
-        if let Some(policy) = self.threshold {
-            config.epsilon_secs = policy.resolve(matrix.overall_latency());
-        }
-
-        // Evacuation pass: components stranded on dead nodes leave first,
-        // before the latency-optimising greedy. The greedy alone cannot
-        // be trusted with them — with two orphans in one parallel stage,
-        // moving either leaves the stage max at the other's saturated
-        // latency, so every single move shows ~zero *overall* gain and
-        // Algorithm 1 would strand both. Each orphan instead goes to the
-        // live node with the best predicted latency for it (the matrix's
-        // self-gain column), applied through the same incremental update
-        // so later placements see earlier ones; the moves consume the
-        // interval's migration budget.
-        let mut candidates = vec![true; ctx.components.len()];
+    /// Evacuation pass: components stranded on dead nodes leave first,
+    /// before the latency-optimising greedy. The greedy alone cannot
+    /// be trusted with them — with two orphans in one parallel stage,
+    /// moving either leaves the stage max at the other's saturated
+    /// latency, so every single move shows ~zero *overall* gain and
+    /// Algorithm 1 would strand both. Each orphan instead goes to the
+    /// live node with the best predicted latency for it (the matrix's
+    /// self-gain column), applied through the same incremental update
+    /// so later placements see earlier ones; the moves consume the
+    /// interval's migration budget. Evacuated components are cleared
+    /// from `candidates` so the greedy cannot move them again.
+    fn evacuate_orphans(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        config: &SchedulerConfig,
+        matrix: &mut PerformanceMatrix,
+        candidates: &mut [bool],
+    ) -> Vec<MigrationDecision> {
         let mut evacuations: Vec<MigrationDecision> = Vec::new();
         for meta in ctx.components {
             if ctx.node_status[meta.node.index()].is_up() || meta.migrating {
@@ -295,7 +336,7 @@ impl SchedulerHook for PcsController {
             candidates[i.index()] = false;
             let gain = matrix.gain(i, dest);
             let self_gain = matrix.self_gain(i, dest);
-            let from = matrix.apply_migration(i, dest, &candidates);
+            let from = matrix.apply_migration(i, dest, candidates);
             evacuations.push(MigrationDecision {
                 component: i,
                 from,
@@ -304,9 +345,127 @@ impl SchedulerHook for PcsController {
                 predicted_self_gain: self_gain,
             });
         }
+        evacuations
+    }
 
-        let mut outcome =
-            ComponentScheduler::new(config).run_masked(&mut matrix, candidates, evacuations.len());
+    /// One hierarchical-mode interval: freeze estimates inside the
+    /// dead-band, refresh the carried matrix incrementally, then schedule
+    /// rack by rack on a clone.
+    fn on_interval_hier(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        group_cap: usize,
+    ) -> Vec<MigrationRequest> {
+        let mut inputs = self.build_inputs(ctx);
+        // Mean-contention predictions never read the sample windows, so
+        // drop them from the inputs: a freshly drained window every
+        // interval would otherwise mark every node changed and defeat
+        // the incremental refresh.
+        if self.matrix_config.mode != PredictionMode::PerSample {
+            for n in &mut inputs.nodes {
+                n.samples.clear();
+            }
+        }
+        // Freeze estimates that have not moved meaningfully since the
+        // previous interval, so the refresh's dirty set tracks *real*
+        // change instead of sampling noise. A node whose demand version
+        // is untouched provably has the same demand composition (no job
+        // started or finished, no component moved, no monitor update) —
+        // reuse its estimate without comparing anything.
+        if let Some(prev) = &self.carried_inputs {
+            if prev.node_count() == inputs.node_count()
+                && prev.component_count() == inputs.component_count()
+            {
+                for (j, node) in inputs.nodes.iter_mut().enumerate() {
+                    let stayed_up =
+                        ctx.node_status[j].is_up() && self.last_up.get(j).copied().unwrap_or(false);
+                    let same_version = self.last_versions.get(j) == Some(&ctx.demand_versions[j]);
+                    if (stayed_up && same_version) || near_vec(&node.demand, &prev.nodes[j].demand)
+                    {
+                        node.demand = prev.nodes[j].demand;
+                    }
+                }
+                for (i, comp) in inputs.components.iter_mut().enumerate() {
+                    let prev_c = &prev.components[i];
+                    if near_vec(&comp.demand, &prev_c.demand) {
+                        comp.demand = prev_c.demand;
+                    }
+                    if near(comp.arrival_rate, prev_c.arrival_rate) {
+                        comp.arrival_rate = prev_c.arrival_rate;
+                    }
+                    if near(comp.scv, prev_c.scv) {
+                        comp.scv = prev_c.scv;
+                    }
+                }
+            }
+        }
+        self.last_versions = ctx.demand_versions.to_vec();
+        self.last_up = ctx.node_status.iter().map(|s| s.is_up()).collect();
+
+        let mk = (inputs.component_count() * inputs.node_count()) as u64;
+        self.cost.intervals += 1;
+        self.cost.entries_total += mk;
+        let compatible = self.carried.as_ref().is_some_and(|m| {
+            m.component_count() == inputs.component_count() && m.node_count() == inputs.node_count()
+        });
+        if compatible {
+            let stats = self
+                .carried
+                .as_mut()
+                .expect("checked above")
+                .refresh(&inputs);
+            self.cost.matrix_refreshes += 1;
+            self.cost.entries_recomputed += stats.entries_recomputed as u64;
+        } else {
+            self.carried = Some(PerformanceMatrix::build(
+                &inputs,
+                &self.models,
+                self.matrix_config,
+            ));
+            self.cost.matrix_builds += 1;
+            self.cost.entries_recomputed += mk;
+        }
+        self.carried_inputs = Some(inputs);
+
+        // Schedule on a clone: apply_migration below is speculative (the
+        // world may still reject or delay moves), and next interval's
+        // refresh must diff against the monitors' view, not against the
+        // speculation.
+        let mut matrix = self
+            .carried
+            .as_ref()
+            .expect("carried matrix initialised above")
+            .clone();
+        let mut config = self.scheduler_config;
+        if let Some(policy) = self.threshold {
+            config.epsilon_secs = policy.resolve(matrix.overall_latency());
+        }
+        let mut candidates = vec![true; ctx.components.len()];
+        let evacuations = self.evacuate_orphans(ctx, &config, &mut matrix, &mut candidates);
+
+        // Level 1 walks racks; level 2 is the bounded greedy within each
+        // rack's component group (components grouped by the rack of
+        // their current host). On a single-rack cluster this degrades to
+        // plain cap-sized grouping.
+        let groups: Vec<Vec<usize>> =
+            if ctx.rack_of.len() == ctx.node_capacities.len() && !ctx.rack_of.is_empty() {
+                let rack_count = ctx.rack_of.iter().copied().max().unwrap_or(0) + 1;
+                let mut by_rack: Vec<Vec<usize>> = vec![Vec::new(); rack_count];
+                for (i, meta) in ctx.components.iter().enumerate() {
+                    by_rack[ctx.rack_of[meta.node.index()]].push(i);
+                }
+                by_rack.retain(|g| !g.is_empty());
+                by_rack
+            } else {
+                vec![(0..ctx.components.len()).collect()]
+            };
+        let mut outcome = HierarchicalScheduler::new(config, group_cap).run_grouped(
+            &mut matrix,
+            &groups,
+            &candidates,
+            evacuations.len(),
+        );
+        self.cost.greedy_iterations += outcome.iterations as u64;
         outcome.decisions.splice(0..0, evacuations);
         let migrations = outcome
             .decisions
@@ -319,6 +478,75 @@ impl SchedulerHook for PcsController {
             .collect();
         self.history.push(outcome);
         migrations
+    }
+}
+
+impl SchedulerHook for PcsController {
+    fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+        // Nothing monitored yet (first tick on a quiet cluster): wait —
+        // unless a node is already down, in which case the evacuation
+        // pass below must run even on cold monitors.
+        if ctx.sampled_windows.iter().all(|w| w.is_empty())
+            && ctx.node_status.iter().all(|s| s.is_up())
+        {
+            return Vec::new();
+        }
+        if let Some(group_cap) = self.hier_group_cap {
+            return self.on_interval_hier(ctx, group_cap);
+        }
+        let inputs = self.build_inputs(ctx);
+        let mut matrix = PerformanceMatrix::build(&inputs, &self.models, self.matrix_config);
+        let mk = (inputs.component_count() * inputs.node_count()) as u64;
+        self.cost.intervals += 1;
+        self.cost.matrix_builds += 1;
+        self.cost.entries_recomputed += mk;
+        self.cost.entries_total += mk;
+        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG.get_or_init(|| std::env::var_os("PCS_DEBUG_CONTROLLER").is_some()) {
+            let candidates = vec![true; inputs.components.len()];
+            eprintln!(
+                "[ctl] t={:?} overall={:.6} best={:?} windows={:?}",
+                ctx.now,
+                matrix.overall_latency(),
+                matrix
+                    .best_candidate(&candidates)
+                    .map(|b| (b.component, b.destination, b.gain)),
+                ctx.sampled_windows
+                    .iter()
+                    .map(|w| w.len())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut config = self.scheduler_config;
+        if let Some(policy) = self.threshold {
+            config.epsilon_secs = policy.resolve(matrix.overall_latency());
+        }
+
+        let mut candidates = vec![true; ctx.components.len()];
+        let evacuations = self.evacuate_orphans(ctx, &config, &mut matrix, &mut candidates);
+
+        let mut outcome = ComponentScheduler::new(config).run_masked(
+            &mut matrix,
+            &mut candidates,
+            evacuations.len(),
+        );
+        self.cost.greedy_iterations += outcome.iterations as u64;
+        outcome.decisions.splice(0..0, evacuations);
+        let migrations = outcome
+            .decisions
+            .iter()
+            .filter(|d| !ctx.components[d.component.index()].migrating)
+            .map(|d| MigrationRequest {
+                component: d.component,
+                to: d.to,
+            })
+            .collect();
+        self.history.push(outcome);
+        migrations
+    }
+
+    fn cost(&self) -> Option<SchedulerCost> {
+        Some(self.cost)
     }
 }
 
@@ -519,6 +747,83 @@ mod tests {
             report.faults.stats.evacuated, report.faults.stats.orphaned,
             "no orphan may wait for a restore that never comes"
         );
+    }
+
+    /// The hierarchical mode on a multi-rack cluster: rack-grouped greedy
+    /// over an incrementally refreshed matrix must still find migrations,
+    /// and the cost counters must show exactly one full build with every
+    /// later interval served by a refresh.
+    #[test]
+    fn hierarchical_controller_schedules_and_refreshes_incrementally() {
+        let topology = ServiceTopology::nutch(8);
+        let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 5).unwrap();
+        let controller = PcsController::new(
+            models,
+            pcs_core::SchedulerConfig {
+                epsilon_secs: 0.00005,
+                max_migrations: None,
+                full_rebuild: false,
+            },
+            MatrixConfig::default(),
+        )
+        .with_hierarchical(64);
+        let mut config = SimConfig::paper_like(topology, 100.0, 21);
+        config.node_count = 10;
+        config.rack_count = 2;
+        config.placement = pcs_sim::PlacementStrategy::RackAware;
+        config.horizon = SimDuration::from_secs(20);
+        config.warmup = SimDuration::from_secs(4);
+        config.scheduler_interval = SimDuration::from_secs(2);
+        let report =
+            Simulation::new(config, Box::new(pcs_sim::BasicPolicy), Box::new(controller)).run();
+        assert!(report.stats.requests_completed > 500);
+        assert!(
+            report.stats.migrations > 0,
+            "hierarchical PCS should migrate under batch churn"
+        );
+        let cost = report.scheduler_cost.expect("controller tracks cost");
+        assert!(cost.intervals >= 2, "several intervals must run: {cost:?}");
+        assert_eq!(cost.matrix_builds, 1, "only the first interval builds");
+        assert_eq!(cost.matrix_refreshes, cost.intervals - 1);
+        assert_eq!(cost.entries_total, cost.intervals * 10 * 10);
+        assert!(cost.entries_recomputed <= cost.entries_total);
+        assert!(cost.greedy_iterations > 0);
+    }
+
+    /// A small group cap (forcing several groups per interval) must not
+    /// break the evacuation guarantee: every orphan of a killed node is
+    /// still re-placed within one interval.
+    #[test]
+    fn hierarchical_controller_evacuates_every_orphan() {
+        use pcs_sim::{FaultEvent, FaultKind, FaultPlan};
+        use pcs_types::{NodeId, SimTime};
+        let topology = ServiceTopology::nutch(8);
+        let models = PcsController::train_for(&topology, NodeCapacity::XEON_E5645, 5).unwrap();
+        let controller = PcsController::new(
+            models,
+            pcs_core::SchedulerConfig {
+                epsilon_secs: 0.00005,
+                max_migrations: None,
+                full_rebuild: false,
+            },
+            MatrixConfig::default(),
+        )
+        .with_hierarchical(3);
+        let mut config = SimConfig::paper_like(topology, 100.0, 21);
+        config.node_count = 5;
+        config.horizon = SimDuration::from_secs(20);
+        config.warmup = SimDuration::from_secs(4);
+        config.scheduler_interval = SimDuration::from_secs(2);
+        config.faults = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_secs(7),
+            node: NodeId::new(2),
+            kind: FaultKind::Kill,
+        }]);
+        let report =
+            Simulation::new(config, Box::new(pcs_sim::BasicPolicy), Box::new(controller)).run();
+        assert_eq!(report.faults.stats.orphaned, 2);
+        assert_eq!(report.faults.stats.evacuated, 2);
+        assert_eq!(report.faults.unresolved_orphans, 0);
     }
 
     #[test]

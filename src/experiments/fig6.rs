@@ -287,6 +287,7 @@ mod tests {
                 stats: TechniqueStats::default(),
                 faults: Default::default(),
                 events_processed: 0,
+                scheduler_cost: None,
             },
             technique,
             rate: 100.0,

@@ -25,6 +25,7 @@
 //! | `mmpp` | techniques under bursty Markov-modulated arrivals |
 //! | `failures` | techniques under node kill/restore faults |
 //! | `failures-rolling` | techniques under a rolling-restart maintenance wave |
+//! | `scale` | flat vs hierarchical PCS at 100/400/1000 nodes |
 //!
 //! The comparison scenarios sweep the open technique registry
 //! ([`crate::techniques`]); `--techniques <list>` overrides any of their
@@ -34,6 +35,7 @@ pub mod ablations;
 pub mod extended;
 pub mod failures;
 pub mod figures;
+pub mod scale;
 
 use crate::controller::PcsController;
 use crate::experiments::fig6::Fig6Config;
@@ -61,6 +63,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(extended::MmppScenario),
         Box::new(failures::FailuresScenario),
         Box::new(failures::RollingRestartScenario),
+        Box::new(scale::ScaleScenario),
     ]
 }
 
@@ -219,7 +222,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
@@ -245,7 +248,8 @@ mod tests {
                 "hetero",
                 "mmpp",
                 "failures",
-                "failures-rolling"
+                "failures-rolling",
+                "scale"
             ]
         );
     }

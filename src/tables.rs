@@ -4,7 +4,7 @@
 //! figures report; this keeps the formatting in one place.
 
 /// Renders a table: a header row plus data rows, columns padded to the
-//  widest cell, separated by two spaces.
+/// widest cell, separated by two spaces.
 pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     if cols == 0 {

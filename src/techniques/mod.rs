@@ -17,6 +17,7 @@
 //! | `pcs` | predictive component-level scheduling (this paper) |
 //! | `pcs+red<k>` | predictive migration under RED-k redundancy (hybrid) |
 //! | `pcs-b<n>` | budgeted PCS: ≤ n migrations per interval |
+//! | `pcs-h<cap>` | hierarchical rack-aware PCS, ≤ cap components per group (`hier` = cap 64) |
 //! | `ll` | least-loaded reactive migration — no prediction |
 //! | `oracle` | PCS fed the simulator's exact node demand (upper bound) |
 //! | `cap` | capacity-aware initial placement, no runtime scheduling |
@@ -28,12 +29,14 @@
 
 mod builtin;
 mod capacity;
+mod hier;
 mod hybrid;
 mod oracle;
 mod reactive;
 
 pub use builtin::{minimal_percent, BasicSpec, PcsSpec, RedSpec, RiSpec};
 pub use capacity::CapacityAwareSpec;
+pub use hier::{HierPcsSpec, DEFAULT_GROUP_CAP, MAX_GROUP_CAP};
 pub use hybrid::{BudgetedPcsSpec, HybridRedSpec, MAX_MIGRATION_BUDGET};
 pub use oracle::OracleSpec;
 pub use reactive::{LeastLoadedHook, LeastLoadedSpec};
@@ -133,6 +136,15 @@ pub fn pcs_budgeted(n: usize) -> TechniqueRef {
     Arc::new(BudgetedPcsSpec::new(n))
 }
 
+/// `PCS-H<cap>`: hierarchical rack-aware PCS with incremental matrix
+/// maintenance, at most `cap` components per greedy group.
+///
+/// # Panics
+/// Panics unless `1 <= cap <= MAX_GROUP_CAP`.
+pub fn pcs_hier(cap: usize) -> TechniqueRef {
+    Arc::new(HierPcsSpec::new(cap))
+}
+
 /// `LL`: least-loaded reactive migration — no prediction.
 pub fn ll() -> TechniqueRef {
     Arc::new(LeastLoadedSpec)
@@ -161,6 +173,7 @@ pub fn registry() -> Vec<TechniqueRef> {
         pcs(),
         pcs_red(2),
         pcs_budgeted(1),
+        pcs_hier(DEFAULT_GROUP_CAP),
         ll(),
         oracle(),
         cap(),
@@ -213,7 +226,7 @@ impl fmt::Display for TechniqueParseError {
             f,
             "unknown technique `{}`: {}; valid techniques: basic, red-<k> (2..=8), \
              ri-<p> (percentile in (0,100), e.g. ri-99.5), pcs, pcs+red<k> (2..=8), \
-             pcs-b<n> (1..=64), ll, oracle, cap",
+             pcs-b<n> (1..=64), pcs-h<cap> (1..=1024; `hier` = pcs-h64), ll, oracle, cap",
             self.token, self.reason
         )
     }
@@ -241,6 +254,7 @@ pub fn parse(name: &str) -> Result<TechniqueRef, TechniqueParseError> {
     match lower.as_str() {
         "basic" => return Ok(basic()),
         "pcs" => return Ok(pcs()),
+        "hier" => return Ok(pcs_hier(DEFAULT_GROUP_CAP)),
         "ll" => return Ok(ll()),
         "oracle" => return Ok(oracle()),
         "cap" => return Ok(cap()),
@@ -266,6 +280,18 @@ pub fn parse(name: &str) -> Result<TechniqueRef, TechniqueParseError> {
             ));
         }
         return Ok(pcs_budgeted(n));
+    }
+    if let Some(cap) = lower.strip_prefix("pcs-h") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| err(token, "the group cap after `pcs-h` is not an integer"))?;
+        if !(1..=MAX_GROUP_CAP).contains(&cap) {
+            return Err(err(
+                token,
+                format!("group cap must be in 1..={MAX_GROUP_CAP}"),
+            ));
+        }
+        return Ok(pcs_hier(cap));
     }
     if let Some(k) = lower.strip_prefix("red-") {
         let k: usize = k
@@ -387,6 +413,7 @@ mod tests {
             "pcs",
             "pcs+red<k>",
             "pcs-b<n>",
+            "pcs-h<cap>",
             "ll",
             "oracle",
             "cap",
@@ -401,6 +428,8 @@ mod tests {
         assert!(parse("pcs+red9").is_err());
         assert!(parse("pcs-b0").is_err(), "budget 0 would never migrate");
         assert!(parse("pcs-b65").is_err(), "beyond the budget cap");
+        assert!(parse("pcs-h0").is_err(), "a zero group cap is degenerate");
+        assert!(parse("pcs-h1025").is_err(), "beyond the group-cap limit");
         assert!(parse_list("pcs,,basic").is_err());
         assert!(parse_list("").is_err());
     }
@@ -417,6 +446,17 @@ mod tests {
         // mean must not absorb PCS variants.
         assert!(!is_redundancy_or_reissue("PCS+RED2"));
         assert!(!is_redundancy_or_reissue("PCS-B1"));
+    }
+
+    #[test]
+    fn hierarchical_parses_and_round_trips() {
+        assert_eq!(parse("pcs-h64").unwrap().name(), "PCS-H64");
+        assert_eq!(parse("PCS-H640").unwrap().name(), "PCS-H640");
+        // The bare alias picks the default cap and renders canonically.
+        assert_eq!(parse("hier").unwrap().name(), "PCS-H64");
+        assert_eq!(parse("HIER").unwrap().name(), "PCS-H64");
+        assert_eq!(parse("pcs-h64").unwrap().replication(), 1);
+        assert!(!is_redundancy_or_reissue("PCS-H64"));
     }
 
     #[test]

@@ -219,6 +219,8 @@ mod tests {
             ground_truth_demand: demand,
             node_status: status,
             replica_peers: &[],
+            demand_versions: &[],
+            rack_of: &[],
         }
     }
 
@@ -342,6 +344,8 @@ mod tests {
             ground_truth_demand: &demand,
             node_status: &status,
             replica_peers: &peers,
+            demand_versions: &[],
+            rack_of: &[],
         };
         let mut hook = LeastLoadedHook::default();
         assert_eq!(

@@ -73,6 +73,57 @@ fn zero_threads_is_rejected() {
 }
 
 #[test]
+fn zero_group_cap_is_rejected() {
+    rejected_with(
+        &["run", "--scenario", "scale", "--group-cap", "0"],
+        "1..=1024",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--group-cap", "1025"],
+        "1..=1024",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--group-cap", "many"],
+        "--group-cap",
+    );
+}
+
+#[test]
+fn degenerate_scale_sizes_are_rejected() {
+    rejected_with(
+        &["run", "--scenario", "scale", "--sizes", ""],
+        "at least one cluster size",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--sizes", "100,0"],
+        "must be >= 8",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--sizes", "100,4"],
+        "must be >= 8",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--sizes", "100,tiny"],
+        "--sizes",
+    );
+}
+
+#[test]
+fn scale_knobs_are_rejected_on_other_scenarios() {
+    // --sizes/--group-cap silently ignored by a scenario without a
+    // cluster-size grid would poison report provenance, like a silently
+    // ignored --techniques.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--group-cap", "64"],
+        "apply to: scale",
+    );
+    rejected_with(
+        &["run", "--scenario", "diurnal", "--sizes", "100"],
+        "apply to: scale",
+    );
+}
+
+#[test]
 fn bench_knobs_are_validated() {
     rejected_with(&["bench", "--threads", "0"], "at least 1");
     rejected_with(&["bench", "--repeats", "0"], "at least 1");
@@ -119,17 +170,17 @@ fn list_techniques_includes_the_hybrid_and_budgeted_variants() {
     let out = pcs(&["list", "techniques"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["pcs+red2", "pcs-b1"] {
+    for name in ["pcs+red2", "pcs-b1", "pcs-h64"] {
         assert!(stdout.contains(name), "missing `{name}`:\n{stdout}");
     }
 }
 
 #[test]
-fn list_scenarios_includes_the_failures_family() {
+fn list_scenarios_includes_the_failures_and_scale_families() {
     let out = pcs(&["list", "scenarios"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["failures", "failures-rolling"] {
+    for name in ["failures", "failures-rolling", "scale"] {
         assert!(stdout.contains(name), "missing `{name}`:\n{stdout}");
     }
 }

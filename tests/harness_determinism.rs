@@ -144,6 +144,23 @@ fn failures_rolling_smoke_report_bytes_are_pinned() {
     );
 }
 
+/// The cluster-scale family, pinned from its first release: the smoke
+/// grid (40 nodes, two racks, deep-chain and wide-fanout under diurnal
+/// arrivals, flat PCS vs PCS-H64) covers the hierarchical controller's
+/// whole pipeline — rack-aware placement, rack-grouped greedy,
+/// incremental matrix refresh, and the `sched_*` work counters, which
+/// are pinnable precisely because they count events, not wall-clock.
+#[test]
+fn scale_smoke_report_bytes_are_pinned() {
+    assert_reproducible("scale");
+    let report = render("scale", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0xe3e5_7a8b_9257_51bc,
+        "scale smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
 #[test]
 fn different_seeds_change_the_report() {
     let scenario = scenarios::find("diurnal").unwrap();
