@@ -117,6 +117,11 @@ impl SweepOutcome {
                 Json::Array(techniques.iter().map(|t| Json::from(t.clone())).collect()),
             ));
         }
+        // Same pattern for the sharded-engine knob: present only when the
+        // LP engine ran, so serial reports keep their historical bytes.
+        if let Some(shards) = params.shards {
+            report.push(("shards_override".into(), Json::from(shards as u64)));
+        }
         report.push(("cells".into(), Json::Array(cells)));
         report.push(("summary".into(), Json::Object(self.summary.clone())));
         Json::object(report)

@@ -38,6 +38,12 @@ pub struct SweepParams {
     /// `scale` scenario's node counts). The CLI rejects empty lists and
     /// degenerate sizes.
     pub sizes: Option<Vec<usize>>,
+    /// Logical-process count for the sharded intra-run engine, where
+    /// applicable (the `scale` scenario). `None`/absent selects the
+    /// serial engine; the CLI rejects 0 (`shards = 0` is spelled by
+    /// omitting the flag) and scenarios reject counts above their
+    /// smallest cell's node count.
+    pub shards: Option<usize>,
 }
 
 impl Default for SweepParams {
@@ -53,6 +59,7 @@ impl Default for SweepParams {
             techniques: None,
             group_cap: None,
             sizes: None,
+            shards: None,
         }
     }
 }

@@ -112,6 +112,15 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// What happens to a killed node's disrupted sub-requests.
     pub failover: FailoverPolicy,
+    /// Number of logical processes the run is sharded into. `0` (the
+    /// default) selects the serial engine — bit-identical to every
+    /// previous release. Any value ≥ 1 selects the sharded LP engine
+    /// ([`crate::lp`]), whose reports are byte-identical for every shard
+    /// count and executor but differ from the serial engine's (cross-shard
+    /// messages carry an explicit hop latency the serial engine does not
+    /// model). Only replication-1, fault-free, non-reissuing runs are
+    /// supported by the LP engine.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -149,6 +158,7 @@ impl SimConfig {
             service_window: 256,
             faults: FaultPlan::none(),
             failover: FailoverPolicy::default(),
+            shards: 0,
         }
     }
 
@@ -221,6 +231,12 @@ impl SimConfig {
                 .iter()
                 .all(|s| s.count <= u16::MAX as usize),
             "stages are limited to 65535 partitions"
+        );
+        assert!(
+            self.shards <= self.node_count,
+            "shard count ({}) cannot exceed the node count ({})",
+            self.shards,
+            self.node_count
         );
         assert!(!self.horizon.is_zero(), "horizon must be non-zero");
         assert!(

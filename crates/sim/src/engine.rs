@@ -126,12 +126,18 @@ const HEAP_ARITY: usize = 4;
 /// need both the maximum timestamp and the maximum sequence number).
 const SLOT_EMPTY: u128 = u128::MAX;
 
-/// Completion slots cover component indices below this bound, so the
-/// min-scan on a slot pop touches at most 64 keys (eight cache lines) no
-/// matter how wide the deployment is; completions of higher-indexed
-/// components take the general heap path. Both stores obey the same
-/// `(time, seq)` total order, so the split never changes delivery order.
-const SLOT_LIMIT: usize = 64;
+/// Width of one completion-slot block: the per-block min-scan touches at
+/// most 64 keys — eight cache lines — regardless of deployment width.
+const SLOT_BLOCK: usize = 64;
+
+/// Completion slots cover component indices below this bound; completions
+/// of higher-indexed components take the general heap path. The bound
+/// exists only to cap slot memory against degenerate configs — the
+/// two-level block-min index keeps the slot path O(√m)-ish at any width,
+/// so the whole `scale` family (1000 components) stays on it. Both stores
+/// obey the same `(time, seq)` total order, so the split never changes
+/// delivery order.
+const SLOT_LIMIT: usize = 4096;
 
 /// A deterministic time-ordered event queue.
 ///
@@ -148,6 +154,12 @@ const SLOT_LIMIT: usize = 64;
 /// store holds the globally smallest `(time, seq)` key, so the delivery
 /// order is *identical* to a single heap's — keys are unique, and both
 /// stores honour the same total order.
+/// The slot store's minimum is tracked at two levels: a per-block min
+/// over `SLOT_BLOCK`-wide key blocks and a cached global min over the
+/// block mins. Re-establishing the min after a pop therefore scans one
+/// block plus the block-min vector (~64 + m/64 keys) instead of all `m`
+/// keys, which is what keeps 1000-component deployments on the slot fast
+/// path instead of regressing to an O(m) scan per completion.
 #[derive(Debug)]
 pub struct EventQueue {
     heap: Vec<Entry>,
@@ -155,6 +167,9 @@ pub struct EventQueue {
     slot_keys: Vec<u128>,
     /// The epoch carried by each pending completion.
     slot_epochs: Vec<u32>,
+    /// Per-block minimum over `slot_keys` and the component holding it.
+    block_min: Vec<u128>,
+    block_min_comp: Vec<usize>,
     /// Cached minimum over `slot_keys` and its index.
     slot_min: u128,
     slot_min_comp: usize,
@@ -170,6 +185,8 @@ impl Default for EventQueue {
             heap: Vec::new(),
             slot_keys: Vec::new(),
             slot_epochs: Vec::new(),
+            block_min: Vec::new(),
+            block_min_comp: Vec::new(),
             slot_min: SLOT_EMPTY,
             slot_min_comp: 0,
             slots_pending: 0,
@@ -231,6 +248,9 @@ impl EventQueue {
             if ci >= self.slot_keys.len() {
                 self.slot_keys.resize(ci + 1, SLOT_EMPTY);
                 self.slot_epochs.resize(ci + 1, 0);
+                let blocks = ci / SLOT_BLOCK + 1;
+                self.block_min.resize(blocks, SLOT_EMPTY);
+                self.block_min_comp.resize(blocks, 0);
             }
             debug_assert_eq!(
                 self.slot_keys[ci], SLOT_EMPTY,
@@ -239,9 +259,16 @@ impl EventQueue {
             self.slot_keys[ci] = key;
             self.slot_epochs[ci] = epoch;
             self.slots_pending += 1;
-            if key < self.slot_min {
-                self.slot_min = key;
-                self.slot_min_comp = ci;
+            let b = ci / SLOT_BLOCK;
+            if key < self.block_min[b] {
+                self.block_min[b] = key;
+                self.block_min_comp[b] = ci;
+                // The global min is the min over block mins, so only a new
+                // block min can improve it.
+                if key < self.slot_min {
+                    self.slot_min = key;
+                    self.slot_min_comp = ci;
+                }
             }
             return;
         }
@@ -265,18 +292,39 @@ impl EventQueue {
         }
         self.slot_keys[ci] = SLOT_EMPTY;
         self.slots_pending -= 1;
-        if self.slot_min_comp == ci {
-            self.rescan_slot_min();
+        let b = ci / SLOT_BLOCK;
+        if self.block_min_comp[b] == ci {
+            self.rescan_block(b);
+            if self.slot_min_comp == ci {
+                self.rescan_slot_min();
+            }
         }
     }
 
+    /// Re-establishes one block's cached min by scanning its keys.
+    fn rescan_block(&mut self, b: usize) {
+        let lo = b * SLOT_BLOCK;
+        let hi = ((b + 1) * SLOT_BLOCK).min(self.slot_keys.len());
+        let mut min = SLOT_EMPTY;
+        let mut comp = lo;
+        for (ci, &key) in self.slot_keys[lo..hi].iter().enumerate() {
+            if key < min {
+                min = key;
+                comp = lo + ci;
+            }
+        }
+        self.block_min[b] = min;
+        self.block_min_comp[b] = comp;
+    }
+
+    /// Re-establishes the global slot min from the block mins.
     fn rescan_slot_min(&mut self) {
         let mut min = SLOT_EMPTY;
         let mut comp = 0;
-        for (ci, &key) in self.slot_keys.iter().enumerate() {
+        for (b, &key) in self.block_min.iter().enumerate() {
             if key < min {
                 min = key;
-                comp = ci;
+                comp = self.block_min_comp[b];
             }
         }
         self.slot_min = min;
@@ -293,6 +341,7 @@ impl EventQueue {
             let epoch = self.slot_epochs[ci];
             self.slot_keys[ci] = SLOT_EMPTY;
             self.slots_pending -= 1;
+            self.rescan_block(ci / SLOT_BLOCK);
             self.rescan_slot_min();
             let time = SimTime::from_micros((key >> 64) as u64);
             debug_assert!(time >= self.now, "event queue went backwards");
@@ -370,6 +419,7 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcs_types::SimDuration;
 
     #[test]
     fn pops_in_time_order() {
@@ -422,5 +472,123 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    /// Bench-shape regression: a 1000-component deployment (the scale
+    /// family's widest cell) must keep every completion on the slot fast
+    /// path — none may spill onto the general heap.
+    #[test]
+    fn scale_width_completions_stay_on_the_slot_path() {
+        const M: usize = 1000;
+        const { assert!(M <= SLOT_LIMIT, "scale width must fit the slot store") };
+        let mut q = EventQueue::new();
+        for ci in 0..M {
+            q.schedule(
+                SimTime::from_micros(1000 + (ci as u64 * 7919) % 5000),
+                Event::ServiceCompletion {
+                    component: ComponentId::from_index(ci),
+                    epoch: 0,
+                },
+            );
+        }
+        assert_eq!(q.slots_pending, M, "all completions in slots");
+        assert!(q.heap.is_empty(), "no completion spilled onto the heap");
+        // Steady-state churn: pop each completion and immediately
+        // reschedule the component, as the event loop does.
+        let mut last = SimTime::ZERO;
+        for i in 0..10 * M {
+            let (t, ev) = q.pop().expect("queue stays loaded");
+            assert!(t >= last, "pop order went backwards at step {i}");
+            last = t;
+            let Event::ServiceCompletion { component, .. } = ev else {
+                panic!("only completions were scheduled");
+            };
+            if i < 9 * M {
+                q.schedule(
+                    t + SimDuration::from_millis(1 + (component.index() as u64 * 31) % 97),
+                    Event::ServiceCompletion {
+                        component,
+                        epoch: 0,
+                    },
+                );
+                assert!(q.heap.is_empty(), "slot path must absorb the churn");
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    /// The two-level slot index must deliver exactly the order a single
+    /// reference heap would, across widths straddling the old 64-slot
+    /// cap, with interleaved cancellations.
+    #[test]
+    fn wide_slot_order_matches_reference_model() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for &m in &[1usize, 63, 64, 65, 300, 1000] {
+            let mut rng = SmallRng::seed_from_u64(m as u64);
+            let mut q = EventQueue::new();
+            // Reference: (time_us, seq) pairs popped via full scan.
+            let mut reference: Vec<(u64, u64, usize)> = Vec::new();
+            let mut seq = 0u64;
+            let mut pending = vec![false; m];
+            let mut now = 0u64;
+            for _ in 0..4000 {
+                let op = rng.gen::<f64>();
+                let ci = (rng.gen::<f64>() * m as f64) as usize % m;
+                if op < 0.55 {
+                    if pending[ci] {
+                        continue;
+                    }
+                    let at = now + 1 + (rng.gen::<f64>() * 10_000.0) as u64;
+                    q.schedule(
+                        SimTime::from_micros(at),
+                        Event::ServiceCompletion {
+                            component: ComponentId::from_index(ci),
+                            epoch: 0,
+                        },
+                    );
+                    reference.push((at, seq, ci));
+                    seq += 1;
+                    pending[ci] = true;
+                } else if op < 0.7 {
+                    q.cancel_completion(ComponentId::from_index(ci));
+                    reference.retain(|&(_, _, c)| c != ci);
+                    pending[ci] = false;
+                } else if !reference.is_empty() {
+                    let best = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s, _))| (t, s))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let (t, _, ci) = reference.remove(best);
+                    pending[ci] = false;
+                    let (qt, qe) = q.pop().expect("model says an event is pending");
+                    assert_eq!(qt, SimTime::from_micros(t));
+                    assert_eq!(
+                        qe,
+                        Event::ServiceCompletion {
+                            component: ComponentId::from_index(ci),
+                            epoch: 0,
+                        }
+                    );
+                    now = t;
+                }
+            }
+            // Drain and compare the tail.
+            reference.sort_by_key(|&(t, s, _)| (t, s));
+            for (t, _, ci) in reference {
+                let (qt, qe) = q.pop().expect("tail event pending");
+                assert_eq!(qt, SimTime::from_micros(t));
+                assert_eq!(
+                    qe,
+                    Event::ServiceCompletion {
+                        component: ComponentId::from_index(ci),
+                        epoch: 0,
+                    }
+                );
+            }
+            assert!(q.pop().is_none(), "width {m}: queue fully drained");
+        }
     }
 }

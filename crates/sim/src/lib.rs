@@ -48,6 +48,7 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod ground_truth;
+pub mod lp;
 pub mod metrics;
 pub mod placement;
 pub mod policy;
@@ -59,6 +60,7 @@ pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
 pub use engine::{Event, EventQueue};
 pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
+pub use lp::{LpExecutor, LpSimulation, HOP_US};
 pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};
 pub use policy::{
     BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerCost,

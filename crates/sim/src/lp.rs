@@ -1,0 +1,1214 @@
+//! Parallel discrete-event engine: the cluster sharded into
+//! conservatively-synchronised **logical processes** (LPs).
+//!
+//! [`Simulation`](crate::Simulation) processes one global event queue on
+//! one thread. This module splits the same workload into
+//! [`SimConfig::shards`](crate::SimConfig::shards) logical processes,
+//! each owning a stripe of the components (`ci % shards`), the requests
+//! it coordinates (`request % shards`), a private event heap and private
+//! RNG streams — so a full-grid cell can use several cores *within* a
+//! single run, not just across sweep cells.
+//!
+//! ## Synchronisation model
+//!
+//! Every cross-component message (a stage dispatch, a partition
+//! completion notification) takes a uniform network hop of
+//! [`HOP_US`] µs, applied even when sender and receiver land on the same
+//! shard so that event timestamps are independent of the shard count.
+//! That hop is the engine's **lookahead**: simulated time advances in
+//! micro-rounds of width `HOP_US`, and any message emitted during a
+//! round is delivered in a strictly later round. Within a round the
+//! shards therefore cannot interact, which makes processing them in
+//! parallel trivially equivalent to any sequential order. Cross-shard
+//! deliveries travel through per-shard mailboxes and are merged into the
+//! receiver's heap, whose total order over content-derived keys
+//! (`(time, kind, ids)`) is insertion-order independent. Rounds with no
+//! runnable event are skipped in O(shards) by jumping to the globally
+//! earliest pending event.
+//!
+//! Cluster-wide state — batch-churn demand, monitor folds, the scheduler
+//! hook, migrations — is handled at **window barriers** (monitor and
+//! scheduler ticks, warm-up end, migration completions): all shards
+//! quiesce, the coordinator applies the same canonical mutation sequence
+//! to every cluster replica, and the window after the barrier resumes
+//! the rounds. Each shard holds a full [`Cluster`] replica that folds
+//! the *same* globally-sorted batch-churn delta list in the same order,
+//! so contention — and hence every sampled service time — is
+//! bit-identical no matter which shard asks.
+//!
+//! ## Determinism
+//!
+//! For a fixed seed the reports are **byte-identical across shard
+//! counts and executors** (single-thread cooperative vs one thread per
+//! shard): RNG streams are keyed per entity (arrival process, per-node
+//! batch lanes, per-component service noise, the coordinator's sampler
+//! lane) via `pcs_harness::seed::mix`, all event keys are
+//! content-derived, and the merged report only uses order-insensitive
+//! reductions (sorted latency summaries, summed counters). The streams
+//! differ from the serial engine's single interleaved stream, so LP
+//! reports are a *different* — but equally pinned — trajectory than
+//! `shards = 0`; scenario defaults keep `shards = 0` precisely so their
+//! historical bytes stay frozen.
+//!
+//! ## Scope (v1)
+//!
+//! Replication-1, non-reissuing, non-cancelling policies on fault-free
+//! clusters — exactly the `scale` family (Basic / PCS / PCS-H), which is
+//! where single-run wall-clock is the binding constraint. Unsupported
+//! configs are rejected at construction with a clear panic.
+
+use crate::cluster::Cluster;
+use crate::component::Deployment;
+use crate::config::SimConfig;
+use crate::ground_truth::GroundTruth;
+use crate::metrics::{Collectors, FaultReport, RunReport, TechniqueStats};
+use crate::placement;
+use crate::policy::{ComponentMeta, DispatchPolicy, SchedulerContext, SchedulerHook};
+use crate::world::empty_context;
+use pcs_harness::seed;
+use pcs_monitor::{ArrivalRateEstimator, ContentionSampler, LatencyRecorder, ServiceTimeWindow};
+use pcs_types::{
+    ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector, SimDuration, SimTime,
+};
+use pcs_workloads::BatchJobGenerator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Uniform cross-component message latency in microseconds — the
+/// conservative lookahead and the micro-round width. 200 µs models an
+/// intra-cluster RPC hop and is far below every service time, so the
+/// quantisation is invisible in the reported latency distributions.
+pub const HOP_US: u64 = 200;
+
+// Seed-lane keys for `seed::mix`: disjoint from each other so the
+// per-entity streams never alias.
+const LANE_ARRIVAL: u64 = 0x6c70_0001;
+const LANE_JOBGEN: u64 = 0x6c70_0002;
+const LANE_SERVICE: u64 = 0x6c70_0003;
+const LANE_SAMPLER: u64 = 0x6c70_0004;
+
+// Event kinds, encoded as the tie-break rank inside the heap key.
+const RANK_COMPLETION: u8 = 0;
+const RANK_NOTIFY: u8 = 1;
+const RANK_DISPATCH: u8 = 2;
+const RANK_ARRIVAL: u8 = 3;
+
+/// A content-derived event key: the key *is* the event, so heap order is
+/// a pure function of the event set (insertion order never matters).
+///
+/// `(a, b)` by rank: completion `(component, 0)`, notify
+/// `(request, partition)`, dispatch `(request, stage)`, arrival
+/// `(request, 0)`. Keys are unique within a shard by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QEntry {
+    time_us: u64,
+    rank: u8,
+    a: u32,
+    b: u32,
+}
+
+/// One (de)allocation of batch-job demand, precomputed per node from its
+/// private RNG lane and globally sorted by `(time, node, lane order)` so
+/// every cluster replica folds the identical f64 sequence.
+#[derive(Debug, Clone)]
+struct BatchDelta {
+    time_us: u64,
+    node: u32,
+    seq: u32,
+    add: bool,
+    demand: ResourceVector,
+}
+
+/// A validated migration order waiting for its due time; applied at the
+/// first barrier at or after `due_us`.
+#[derive(Debug, Clone, Copy)]
+struct PendingMigration {
+    component: usize,
+    to: NodeId,
+    due_us: u64,
+}
+
+/// Coordinator-side per-component state: placement and the monitor's
+/// utilisation fold (shards only keep what the hot path needs).
+#[derive(Debug, Clone)]
+struct CompMeta {
+    class: usize,
+    stage: u32,
+    node: NodeId,
+    migrating_to: Option<NodeId>,
+    utilization: f64,
+    contribution: ResourceVector,
+}
+
+/// A sub-request owned by a shard-local component queue.
+#[derive(Debug, Clone, Copy)]
+struct LpItem {
+    request: u32,
+    partition: u32,
+    enqueued_us: u64,
+}
+
+/// Shard-local state of one physical component (stripe `ci % shards`).
+#[derive(Debug)]
+struct LpComp {
+    node: NodeId,
+    class: usize,
+    queue: VecDeque<LpItem>,
+    /// `(item, started_us)` of the in-service sub-request.
+    in_service: Option<(LpItem, u64)>,
+    busy_us: u64,
+    service_window: ServiceTimeWindow,
+    rate: ArrivalRateEstimator,
+    /// `(node, demand_version, mean)` — see `Simulation::mean_cache`.
+    mean_cache: (NodeId, u64, f64),
+    noise_rng: SmallRng,
+}
+
+/// Join state of a request on its owner shard (`request % shards`).
+#[derive(Debug, Clone, Copy, Default)]
+struct LpReq {
+    arrived_us: u64,
+    stage: u32,
+    pending: u32,
+    live: bool,
+}
+
+/// Read-only world shared by every shard during a window.
+struct LpEnv<'a> {
+    ground_truth: &'a GroundTruth,
+    /// Per stage: the component index serving each partition.
+    stage_parts: &'a [Vec<u32>],
+    deltas: &'a [BatchDelta],
+    inboxes: &'a [Mutex<Vec<QEntry>>],
+}
+
+/// One logical process: a stripe of components, the requests it
+/// coordinates, a private heap and a full cluster replica.
+struct LpShard {
+    me: usize,
+    n: usize,
+    heap: BinaryHeap<Reverse<QEntry>>,
+    comps: Vec<LpComp>,
+    reqs: Vec<LpReq>,
+    cluster: Cluster,
+    /// Batch-delta fold cursor of this shard's cluster replica.
+    cursor: usize,
+    collectors: Collectors,
+    in_warmup: bool,
+    last_monitor_us: u64,
+    /// Logical events processed: arrivals, dispatch *emissions*,
+    /// completions, notifies — counted so the total is independent of
+    /// how many shards a dispatch fans out to.
+    events: u64,
+    scratch: Vec<usize>,
+}
+
+impl LpShard {
+    fn send(&mut self, env: &LpEnv<'_>, target: usize, e: QEntry) {
+        if target == self.me {
+            self.heap.push(Reverse(e));
+        } else {
+            env.inboxes[target].lock().unwrap().push(e);
+        }
+    }
+
+    fn drain_inbox(&mut self, env: &LpEnv<'_>) {
+        let mut inbox = env.inboxes[self.me].lock().unwrap();
+        for &e in inbox.iter() {
+            self.heap.push(Reverse(e));
+        }
+        inbox.clear();
+    }
+
+    /// Earliest pending event on this shard (heap or undrained inbox).
+    fn next_time_us(&self, env: &LpEnv<'_>) -> u64 {
+        let head = self
+            .heap
+            .peek()
+            .map(|&Reverse(e)| e.time_us)
+            .unwrap_or(u64::MAX);
+        let inbox = env.inboxes[self.me].lock().unwrap();
+        let pending = inbox.iter().map(|e| e.time_us).min().unwrap_or(u64::MAX);
+        head.min(pending)
+    }
+
+    /// Processes every local event with `time < round_end`. All emissions
+    /// land at `time + HOP_US ≥ round_end`, so nothing processed here can
+    /// affect another shard's current round.
+    fn run_round(&mut self, env: &LpEnv<'_>, round_end: u64) {
+        while let Some(&Reverse(e)) = self.heap.peek() {
+            if e.time_us >= round_end {
+                break;
+            }
+            self.heap.pop();
+            match e.rank {
+                RANK_COMPLETION => self.on_completion(env, e.time_us, e.a),
+                RANK_NOTIFY => self.on_notify(env, e.time_us, e.a),
+                RANK_DISPATCH => self.on_dispatch(env, e.time_us, e.a, e.b),
+                RANK_ARRIVAL => self.on_arrival(env, e.time_us, e.a),
+                _ => unreachable!("unknown event rank"),
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, env: &LpEnv<'_>, t: u64, request: u32) {
+        self.events += 1;
+        let slot = request as usize / self.n;
+        self.reqs[slot] = LpReq {
+            arrived_us: t,
+            stage: 0,
+            pending: env.stage_parts[0].len() as u32,
+            live: true,
+        };
+        self.emit_dispatch(env, t, request, 0);
+    }
+
+    /// Fans a stage's dispatch out to every shard owning at least one of
+    /// its partitions (one message per shard, delivered at `t + HOP_US`).
+    fn emit_dispatch(&mut self, env: &LpEnv<'_>, t: u64, request: u32, stage: u32) {
+        self.events += 1;
+        let parts = &env.stage_parts[stage as usize];
+        let e = QEntry {
+            time_us: t + HOP_US,
+            rank: RANK_DISPATCH,
+            a: request,
+            b: stage,
+        };
+        let mut targets = std::mem::take(&mut self.scratch);
+        targets.clear();
+        if parts.len() >= self.n {
+            targets.extend(0..self.n);
+        } else {
+            targets.extend(parts.iter().map(|&ci| ci as usize % self.n));
+            targets.sort_unstable();
+            targets.dedup();
+        }
+        for &target in &targets {
+            self.send(env, target, e);
+        }
+        self.scratch = targets;
+    }
+
+    /// A dispatch delivery: enqueue (or start) every partition of the
+    /// stage that this shard owns.
+    fn on_dispatch(&mut self, env: &LpEnv<'_>, t: u64, request: u32, stage: u32) {
+        for (p, &ci) in env.stage_parts[stage as usize].iter().enumerate() {
+            if ci as usize % self.n != self.me {
+                continue;
+            }
+            let item = LpItem {
+                request,
+                partition: p as u32,
+                enqueued_us: t,
+            };
+            let slot = ci as usize / self.n;
+            self.comps[slot].rate.record(SimTime::from_micros(t));
+            if self.comps[slot].in_service.is_none() {
+                self.begin_service(env, t, ci, item);
+            } else {
+                self.comps[slot].queue.push_back(item);
+            }
+        }
+    }
+
+    fn begin_service(&mut self, env: &LpEnv<'_>, t: u64, ci: u32, item: LpItem) {
+        // The cluster replica must reflect all batch churn up to `t`
+        // before contention is read — the same fold prefix every replica
+        // applies, so the mean is shard-count independent.
+        self.apply_deltas_until(env, t);
+        let slot = ci as usize / self.n;
+        let node = self.comps[slot].node;
+        let class = self.comps[slot].class;
+        let version = self.cluster.demand_version(node);
+        let cached = self.comps[slot].mean_cache;
+        let mean = if cached.0 == node && cached.1 == version {
+            cached.2
+        } else {
+            let u = self.cluster.contention(node);
+            let m = env.ground_truth.mean_service_time(class, &u);
+            self.comps[slot].mean_cache = (node, version, m);
+            m
+        };
+        let comp = &mut self.comps[slot];
+        let x = env
+            .ground_truth
+            .sample_with_mean(class, mean, &mut comp.noise_rng);
+        comp.service_window.record(x);
+        let done_us = (SimTime::from_micros(t) + SimDuration::from_secs_f64(x)).as_micros();
+        comp.in_service = Some((item, t));
+        self.heap.push(Reverse(QEntry {
+            time_us: done_us,
+            rank: RANK_COMPLETION,
+            a: ci,
+            b: 0,
+        }));
+    }
+
+    fn on_completion(&mut self, env: &LpEnv<'_>, t: u64, ci: u32) {
+        self.events += 1;
+        let slot = ci as usize / self.n;
+        let (item, started) = self.comps[slot]
+            .in_service
+            .take()
+            .expect("completion without in-service work");
+        self.comps[slot].busy_us += t - started.max(self.last_monitor_us);
+        self.collectors.stats.executions += 1;
+        if !self.in_warmup {
+            self.collectors
+                .component_latency
+                .record_secs((t - item.enqueued_us) as f64 * 1e-6);
+        }
+        if let Some(next) = self.comps[slot].queue.pop_front() {
+            self.begin_service(env, t, ci, next);
+        }
+        let owner = item.request as usize % self.n;
+        self.send(
+            env,
+            owner,
+            QEntry {
+                time_us: t + HOP_US,
+                rank: RANK_NOTIFY,
+                a: item.request,
+                b: item.partition,
+            },
+        );
+    }
+
+    /// A partition-completion notification arriving at the request's
+    /// owner shard: the stage join, stage advance, and final completion.
+    fn on_notify(&mut self, env: &LpEnv<'_>, t: u64, request: u32) {
+        self.events += 1;
+        let slot = request as usize / self.n;
+        let req = &mut self.reqs[slot];
+        debug_assert!(req.live && req.pending > 0);
+        req.pending -= 1;
+        if req.pending > 0 {
+            return;
+        }
+        let next_stage = req.stage + 1;
+        if (next_stage as usize) < env.stage_parts.len() {
+            req.stage = next_stage;
+            req.pending = env.stage_parts[next_stage as usize].len() as u32;
+            self.emit_dispatch(env, t, request, next_stage);
+        } else {
+            req.live = false;
+            let arrived = req.arrived_us;
+            if !self.in_warmup {
+                self.collectors
+                    .overall_latency
+                    .record_secs((t - arrived) as f64 * 1e-6);
+            }
+            self.collectors.stats.requests_completed += 1;
+        }
+    }
+
+    fn apply_deltas_until(&mut self, env: &LpEnv<'_>, t: u64) {
+        apply_deltas(&mut self.cluster, &mut self.cursor, env.deltas, t);
+    }
+}
+
+/// Folds the globally-sorted batch-churn prefix `time ≤ t` into one
+/// cluster replica. Every replica calls this with the same list, so the
+/// demand accumulators stay bit-identical across shards.
+fn apply_deltas(cluster: &mut Cluster, cursor: &mut usize, deltas: &[BatchDelta], t: u64) {
+    while *cursor < deltas.len() && deltas[*cursor].time_us <= t {
+        let d = &deltas[*cursor];
+        let node = NodeId::new(d.node);
+        if d.add {
+            cluster.add_component_demand(node, d.demand);
+        } else {
+            cluster.remove_component_demand(node, d.demand);
+        }
+        *cursor += 1;
+    }
+}
+
+/// A sense-reversing spin barrier for the per-round rendezvous of the
+/// threaded executor (falls back to `yield_now` after a bounded spin so
+/// oversubscribed hosts still make progress).
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Which executor drives the shards. Both produce byte-identical
+/// reports; they differ only in wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpExecutor {
+    /// One OS thread per shard when the host has more than one core,
+    /// otherwise the cooperative executor.
+    Auto,
+    /// All shards interleaved on the calling thread (reference
+    /// executor; also what single-core hosts get).
+    Cooperative,
+    /// One OS thread per shard, synchronised by spin barriers.
+    Threaded,
+}
+
+/// A configured, runnable sharded simulation. Built like
+/// [`Simulation`](crate::Simulation) but runs the LP engine described in
+/// the [module docs](self).
+pub struct LpSimulation {
+    config: SimConfig,
+    n: usize,
+    policy: Box<dyn DispatchPolicy>,
+    hook: Box<dyn SchedulerHook>,
+    shards: Vec<LpShard>,
+    inboxes: Vec<Mutex<Vec<QEntry>>>,
+    ground_truth: GroundTruth,
+    stage_parts: Vec<Vec<u32>>,
+    deltas: Vec<BatchDelta>,
+    // Coordinator state (touched only at barriers).
+    cluster: Cluster,
+    cursor: usize,
+    samplers: Vec<ContentionSampler>,
+    sampler_rng: SmallRng,
+    metas: Vec<CompMeta>,
+    replica_peers: Vec<Vec<ComponentId>>,
+    class_own_demand: Vec<ResourceVector>,
+    class_scv: Vec<f64>,
+    caps: Vec<NodeCapacity>,
+    racks: Vec<usize>,
+    stats: TechniqueStats,
+    pending_migrations: Vec<PendingMigration>,
+    last_monitor_us: u64,
+    /// Monitor/scheduler/warm-up barrier phases executed (the LP
+    /// analogue of the serial engine's tick events).
+    ticks: u64,
+    monitor_period_us: u64,
+    sched_interval_us: u64,
+    warmup_us: u64,
+    migration_latency_us: u64,
+    end_cap_us: u64,
+    stage_count: usize,
+}
+
+impl LpSimulation {
+    /// Builds a sharded simulation from a config (`config.shards ≥ 1`),
+    /// a dispatch policy and a scheduler hook.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid, if `config.shards` is 0 (that
+    /// value selects the serial engine), or if the config needs a
+    /// mechanism outside the LP engine's v1 scope: replication > 1,
+    /// reissuing or cancel-on-start policies, or fault injection.
+    pub fn new(
+        config: SimConfig,
+        policy: Box<dyn DispatchPolicy>,
+        hook: Box<dyn SchedulerHook>,
+    ) -> Self {
+        let mut arrival_proc = config.arrival_pattern.build(config.arrival_rate);
+        let mut arr_rng = SmallRng::seed_from_u64(seed::mix(config.seed, LANE_ARRIVAL));
+        let horizon_us = config.horizon.as_micros();
+        let mut arrivals_us = Vec::new();
+        let mut t = SimTime::ZERO + arrival_proc.next_interarrival(SimTime::ZERO, &mut arr_rng);
+        while t.as_micros() <= horizon_us {
+            arrivals_us.push(t.as_micros());
+            // Sub-microsecond gaps round to zero; clamp so the arrival
+            // clock always advances.
+            let gap = arrival_proc
+                .next_interarrival(t, &mut arr_rng)
+                .max(SimDuration::from_micros(1));
+            t += gap;
+        }
+        Self::with_arrivals(config, policy, hook, arrivals_us)
+    }
+
+    /// [`LpSimulation::new`] with a precomputed arrival timeline
+    /// (microsecond timestamps, ascending). Request ids are the indices.
+    ///
+    /// # Panics
+    /// Same conditions as [`LpSimulation::new`].
+    pub fn with_arrivals(
+        config: SimConfig,
+        policy: Box<dyn DispatchPolicy>,
+        hook: Box<dyn SchedulerHook>,
+        arrivals_us: Vec<u64>,
+    ) -> Self {
+        config.validate();
+        let n = config.shards;
+        assert!(
+            n >= 1,
+            "the LP engine needs shards >= 1 (shards = 0 selects the serial engine)"
+        );
+        assert!(
+            config.deployment.replication == 1 && policy.replication() == 1,
+            "the LP engine supports replication-1 techniques only; '{}' needs replication {}",
+            policy.name(),
+            policy.replication()
+        );
+        assert!(
+            !policy.reissues(),
+            "the LP engine does not support reissuing policies ('{}')",
+            policy.name()
+        );
+        assert!(
+            !policy.cancel_on_start(),
+            "the LP engine does not support cancel-on-start policies ('{}')",
+            policy.name()
+        );
+        assert!(
+            config.faults.is_empty(),
+            "the LP engine does not support fault injection; run with shards = 0"
+        );
+
+        let cluster = match &config.node_capacities {
+            Some(caps) => Cluster::heterogeneous(caps.clone()),
+            None => Cluster::new(config.node_count, config.node_capacity),
+        };
+        let ground_truth = GroundTruth::new(config.topology.classes());
+        let deployment = Deployment::new(&config.topology, 1);
+        let mut comps = deployment.instantiate(&config.topology);
+        let initial_alive = vec![true; config.node_count];
+        match config.placement {
+            crate::config::PlacementStrategy::AntiAffine => {
+                placement::anti_affine(&mut comps, &deployment, config.node_count, &initial_alive)
+            }
+            crate::config::PlacementStrategy::CapacityAware => placement::capacity_aware(
+                &mut comps,
+                &deployment,
+                &cluster.capacities(),
+                &initial_alive,
+            ),
+            crate::config::PlacementStrategy::RackAware => placement::rack_aware(
+                &mut comps,
+                &deployment,
+                &config.rack_assignments(),
+                &initial_alive,
+            ),
+        }
+
+        let m = comps.len();
+        let stage_parts: Vec<Vec<u32>> = (0..deployment.stage_count())
+            .map(|s| {
+                (0..deployment.partition_count(s as u32))
+                    .map(|p| deployment.replicas(s as u32, p as u32)[0].raw())
+                    .collect()
+            })
+            .collect();
+        let metas: Vec<CompMeta> = comps
+            .iter()
+            .map(|c| CompMeta {
+                class: c.class,
+                stage: c.stage,
+                node: c.node,
+                migrating_to: None,
+                utilization: 0.0,
+                contribution: ResourceVector::ZERO,
+            })
+            .collect();
+        let class_own_demand: Vec<ResourceVector> = config
+            .topology
+            .classes()
+            .iter()
+            .map(|c| c.own_demand)
+            .collect();
+        let class_scv: Vec<f64> = config
+            .topology
+            .classes()
+            .iter()
+            .map(|c| c.service_scv)
+            .collect();
+        let end_cap_us = (SimTime::ZERO + config.horizon + config.drain_grace).as_micros();
+
+        // Batch churn, precomputed per node from its own RNG lane, then
+        // globally sorted into the canonical fold order.
+        let mut deltas: Vec<BatchDelta> = Vec::new();
+        if let Some(gen_cfg) = config.jobgen.clone() {
+            let generator = BatchJobGenerator::new(gen_cfg);
+            for node in 0..config.node_count {
+                let mut rng = SmallRng::seed_from_u64(seed::mix(
+                    seed::mix(config.seed, LANE_JOBGEN),
+                    node as u64,
+                ));
+                let mut seq = 0u32;
+                let stagger = rng.gen::<f64>() * generator.config().mean_interarrival_secs;
+                let mut at = SimTime::ZERO + SimDuration::from_secs_f64(stagger);
+                while at.as_micros() <= end_cap_us {
+                    let job = generator.next_job(&mut rng);
+                    deltas.push(BatchDelta {
+                        time_us: at.as_micros(),
+                        node: node as u32,
+                        seq,
+                        add: true,
+                        demand: job.demand,
+                    });
+                    seq += 1;
+                    let departs = at + job.duration;
+                    if departs.as_micros() <= end_cap_us {
+                        deltas.push(BatchDelta {
+                            time_us: departs.as_micros(),
+                            node: node as u32,
+                            seq,
+                            add: false,
+                            demand: job.demand,
+                        });
+                        seq += 1;
+                    }
+                    at += generator.next_interarrival(&mut rng);
+                }
+            }
+            deltas.sort_by_key(|d| (d.time_us, d.node, d.seq));
+        }
+
+        let expected_requests = arrivals_us.len();
+        let fanout: usize = stage_parts.iter().map(|p| p.len()).sum();
+        let shards: Vec<LpShard> = (0..n)
+            .map(|me| {
+                let shard_comps: Vec<LpComp> = (me..m)
+                    .step_by(n)
+                    .map(|ci| LpComp {
+                        node: comps[ci].node,
+                        class: comps[ci].class,
+                        queue: VecDeque::new(),
+                        in_service: None,
+                        busy_us: 0,
+                        service_window: ServiceTimeWindow::new(config.service_window),
+                        rate: ArrivalRateEstimator::new(config.rate_window),
+                        mean_cache: (NodeId::new(0), u64::MAX, 0.0),
+                        noise_rng: SmallRng::seed_from_u64(seed::mix(
+                            seed::mix(config.seed, LANE_SERVICE),
+                            ci as u64,
+                        )),
+                    })
+                    .collect();
+                let req_count = expected_requests.saturating_sub(me).div_ceil(n.max(1));
+                let mut heap = BinaryHeap::with_capacity(req_count + 4 * shard_comps.len() + 16);
+                for (r, &at) in arrivals_us.iter().enumerate() {
+                    if r % n == me {
+                        heap.push(Reverse(QEntry {
+                            time_us: at,
+                            rank: RANK_ARRIVAL,
+                            a: r as u32,
+                            b: 0,
+                        }));
+                    }
+                }
+                let mut collectors = Collectors::default();
+                collectors.preallocate(
+                    (expected_requests.saturating_mul(fanout) / n.max(1)).min(4 << 20),
+                    req_count,
+                );
+                LpShard {
+                    me,
+                    n,
+                    heap,
+                    comps: shard_comps,
+                    reqs: vec![LpReq::default(); req_count],
+                    cluster: cluster.clone(),
+                    cursor: 0,
+                    collectors,
+                    in_warmup: !config.warmup.is_zero(),
+                    last_monitor_us: 0,
+                    events: 0,
+                    scratch: Vec::with_capacity(n),
+                }
+            })
+            .collect();
+
+        let samplers = (0..config.node_count)
+            .map(|_| ContentionSampler::new(config.sampler, SimTime::ZERO))
+            .collect();
+        let caps = cluster.capacities();
+        let racks = config.rack_assignments();
+        let monitor_period_us = config.sampler.system_period.as_micros();
+        let sched_interval_us = config.scheduler_interval.as_micros();
+        let warmup_us = config.warmup.as_micros();
+        let migration_latency_us = config.migration_latency.as_micros();
+        let sampler_rng = SmallRng::seed_from_u64(seed::mix(config.seed, LANE_SAMPLER));
+        let stage_count = deployment.stage_count();
+
+        LpSimulation {
+            n,
+            policy,
+            hook,
+            shards,
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            ground_truth,
+            stage_parts,
+            deltas,
+            cluster,
+            cursor: 0,
+            samplers,
+            sampler_rng,
+            metas,
+            replica_peers: vec![Vec::new(); m],
+            class_own_demand,
+            class_scv,
+            caps,
+            racks,
+            stats: TechniqueStats::default(),
+            pending_migrations: Vec::new(),
+            last_monitor_us: 0,
+            ticks: 0,
+            monitor_period_us,
+            sched_interval_us,
+            warmup_us,
+            migration_latency_us,
+            end_cap_us,
+            stage_count,
+            config,
+        }
+    }
+
+    /// Runs to completion with the [`LpExecutor::Auto`] executor.
+    pub fn run(self) -> RunReport {
+        self.run_with(LpExecutor::Auto)
+    }
+
+    /// Runs to completion with an explicit executor. The report is
+    /// byte-identical whichever executor runs it.
+    pub fn run_with(mut self, executor: LpExecutor) -> RunReport {
+        let threaded = match executor {
+            LpExecutor::Cooperative => false,
+            LpExecutor::Threaded => self.n > 1,
+            LpExecutor::Auto => {
+                self.n > 1
+                    && std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                        > 1
+            }
+        };
+        self.barrier_phases(0);
+        let mut now = 0u64;
+        while let Some(t) = self.next_boundary(now) {
+            self.run_window(now, t, threaded);
+            self.barrier_phases(t);
+            now = t;
+        }
+        // Final partial window: events at exactly `end_cap` still run.
+        let final_end = self.end_cap_us + 1;
+        self.run_window(now, final_end, threaded);
+        self.finish()
+    }
+
+    /// The next barrier after `now`: the earliest monitor tick, scheduler
+    /// tick, warm-up end or pending migration due time within the run.
+    fn next_boundary(&self, now: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        let monitor = (now / self.monitor_period_us + 1) * self.monitor_period_us;
+        if monitor <= self.end_cap_us {
+            next = next.min(monitor);
+        }
+        let sched = (now / self.sched_interval_us + 1) * self.sched_interval_us;
+        if sched <= self.end_cap_us {
+            next = next.min(sched);
+        }
+        if self.warmup_us > now && self.warmup_us <= self.end_cap_us {
+            next = next.min(self.warmup_us);
+        }
+        for mig in &self.pending_migrations {
+            if mig.due_us > now && mig.due_us <= self.end_cap_us {
+                next = next.min(mig.due_us);
+            }
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Runs all shards over the window `[w_start, w_end)` in hop-width
+    /// micro-rounds, skipping empty rounds.
+    fn run_window(&mut self, w_start: u64, w_end: u64, threaded: bool) {
+        if w_start >= w_end {
+            return;
+        }
+        let env = LpEnv {
+            ground_truth: &self.ground_truth,
+            stage_parts: &self.stage_parts,
+            deltas: &self.deltas,
+            inboxes: &self.inboxes,
+        };
+        if !threaded {
+            let shards = &mut self.shards;
+            let mut t = w_start;
+            while t < w_end {
+                let round_end = (t + HOP_US).min(w_end);
+                for shard in shards.iter_mut() {
+                    shard.drain_inbox(&env);
+                    shard.run_round(&env, round_end);
+                }
+                let mut next = u64::MAX;
+                for shard in shards.iter() {
+                    next = next.min(shard.next_time_us(&env));
+                }
+                if next >= w_end {
+                    break;
+                }
+                t = next.max(round_end);
+            }
+            return;
+        }
+        let barrier = SpinBarrier::new(self.n);
+        let next_times: Vec<AtomicU64> = (0..self.n).map(|_| AtomicU64::new(0)).collect();
+        let shards = &mut self.shards;
+        std::thread::scope(|scope| {
+            for shard in shards.iter_mut() {
+                let env = &env;
+                let barrier = &barrier;
+                let next_times = &next_times[..];
+                scope.spawn(move || {
+                    let mut t = w_start;
+                    while t < w_end {
+                        let round_end = (t + HOP_US).min(w_end);
+                        shard.drain_inbox(env);
+                        shard.run_round(env, round_end);
+                        // All sends of this round are visible after the
+                        // first barrier; publish, then rendezvous again
+                        // so every shard computes the same skip target.
+                        barrier.wait();
+                        next_times[shard.me].store(shard.next_time_us(env), Ordering::Release);
+                        barrier.wait();
+                        let mut next = u64::MAX;
+                        for published in next_times {
+                            next = next.min(published.load(Ordering::Acquire));
+                        }
+                        if next >= w_end {
+                            break;
+                        }
+                        t = next.max(round_end);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Coordinator work at a barrier time `t`, in the canonical phase
+    /// order: churn cursors, due migrations, scheduler, warm-up, monitor.
+    fn barrier_phases(&mut self, t: u64) {
+        apply_deltas(&mut self.cluster, &mut self.cursor, &self.deltas, t);
+        for shard in &mut self.shards {
+            apply_deltas(&mut shard.cluster, &mut shard.cursor, &self.deltas, t);
+        }
+
+        let mut i = 0;
+        while i < self.pending_migrations.len() {
+            if self.pending_migrations[i].due_us > t {
+                i += 1;
+                continue;
+            }
+            let mig = self.pending_migrations.remove(i);
+            self.apply_migration(mig);
+        }
+
+        if t > 0 && t.is_multiple_of(self.sched_interval_us) {
+            self.on_scheduler_barrier(t);
+        }
+        if self.warmup_us > 0 && t == self.warmup_us {
+            self.ticks += 1;
+            self.stats = TechniqueStats::default();
+            for shard in &mut self.shards {
+                shard.collectors.reset_for_measurement();
+                shard.in_warmup = false;
+            }
+        }
+        if t.is_multiple_of(self.monitor_period_us) {
+            self.on_monitor_barrier(t);
+        }
+    }
+
+    fn apply_migration(&mut self, mig: PendingMigration) {
+        let ci = mig.component;
+        debug_assert_eq!(self.metas[ci].migrating_to, Some(mig.to));
+        let from = self.metas[ci].node;
+        let contribution = self.metas[ci].contribution;
+        self.metas[ci].node = mig.to;
+        self.metas[ci].migrating_to = None;
+        // The demand move lands in the same canonical position of every
+        // replica's mutation sequence.
+        self.cluster.remove_component_demand(from, contribution);
+        self.cluster.add_component_demand(mig.to, contribution);
+        for shard in &mut self.shards {
+            shard.cluster.remove_component_demand(from, contribution);
+            shard.cluster.add_component_demand(mig.to, contribution);
+        }
+        self.shards[ci % self.n].comps[ci / self.n].node = mig.to;
+    }
+
+    fn on_scheduler_barrier(&mut self, t: u64) {
+        self.ticks += 1;
+        let now = SimTime::from_micros(t);
+        let m = self.metas.len();
+        if !self.hook.wants_context() {
+            debug_assert!(self.hook.on_interval(&empty_context(now)).is_empty());
+            for ci in 0..m {
+                self.shards[ci % self.n].comps[ci / self.n].rate.trim(now);
+            }
+            for sampler in &mut self.samplers {
+                sampler.discard_window();
+            }
+            return;
+        }
+        let metas: Vec<ComponentMeta> = self
+            .metas
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ComponentMeta {
+                id: ComponentId::from_index(i),
+                class: c.class,
+                stage: c.stage as usize,
+                node: c.node,
+                migrating: c.migrating_to.is_some(),
+                own_demand: c.contribution,
+            })
+            .collect();
+        let mut windows: Vec<Vec<ContentionVector>> = vec![Vec::new(); self.cluster.len()];
+        for (sampler, window) in self.samplers.iter_mut().zip(windows.iter_mut()) {
+            sampler.drain_window_into(window);
+        }
+        let mut rates = Vec::with_capacity(m);
+        let mut scvs = Vec::with_capacity(m);
+        for ci in 0..m {
+            let comp = &mut self.shards[ci % self.n].comps[ci / self.n];
+            rates.push(comp.rate.rate(now));
+            scvs.push(comp.service_window.scv_or(self.class_scv[comp.class]));
+        }
+        let mut demands = Vec::with_capacity(self.cluster.len());
+        let mut status = Vec::with_capacity(self.cluster.len());
+        let mut versions = Vec::with_capacity(self.cluster.len());
+        for node in 0..self.cluster.len() {
+            let id = NodeId::from_index(node);
+            demands.push(self.cluster.node(id).total_demand());
+            status.push(crate::faults::NodeStatus::Up);
+            versions.push(self.cluster.demand_version(id));
+        }
+        let ctx = SchedulerContext {
+            now,
+            components: &metas,
+            node_capacities: &self.caps,
+            sampled_windows: &windows,
+            arrival_rates: &rates,
+            service_scv: &scvs,
+            stage_count: self.stage_count,
+            ground_truth_demand: &demands,
+            node_status: &status,
+            replica_peers: &self.replica_peers,
+            demand_versions: &versions,
+            rack_of: &self.racks,
+        };
+        let migrations = self.hook.on_interval(&ctx);
+        for mr in migrations {
+            let ci = mr.component.index();
+            if ci >= m || mr.to.index() >= self.cluster.len() {
+                continue; // ignore malformed orders
+            }
+            if self.metas[ci].migrating_to.is_some() || self.metas[ci].node == mr.to {
+                continue;
+            }
+            // Anti-affinity is vacuous under replication 1: every
+            // replica group is a singleton.
+            self.metas[ci].migrating_to = Some(mr.to);
+            self.stats.migrations += 1;
+            self.pending_migrations.push(PendingMigration {
+                component: ci,
+                to: mr.to,
+                due_us: t + self.migration_latency_us,
+            });
+        }
+    }
+
+    fn on_monitor_barrier(&mut self, t: u64) {
+        self.ticks += 1;
+        let window_us = t - self.last_monitor_us;
+        if window_us > 0 {
+            let window_secs = window_us as f64 * 1e-6;
+            for ci in 0..self.metas.len() {
+                let comp = &mut self.shards[ci % self.n].comps[ci / self.n];
+                let mut busy = comp.busy_us;
+                if let Some((_, started)) = comp.in_service {
+                    busy += t - started.max(self.last_monitor_us);
+                }
+                comp.busy_us = 0;
+                let frac = (busy as f64 * 1e-6 / window_secs).min(1.0);
+                let util = 0.5 * self.metas[ci].utilization + 0.5 * frac;
+                self.metas[ci].utilization = util;
+                let new_contrib = self.class_own_demand[self.metas[ci].class].scaled(util);
+                let old_contrib = self.metas[ci].contribution;
+                let node = self.metas[ci].node;
+                self.cluster.remove_component_demand(node, old_contrib);
+                self.cluster.add_component_demand(node, new_contrib);
+                for shard in &mut self.shards {
+                    shard.cluster.remove_component_demand(node, old_contrib);
+                    shard.cluster.add_component_demand(node, new_contrib);
+                }
+                self.metas[ci].contribution = new_contrib;
+            }
+        }
+        let now = SimTime::from_micros(t);
+        for node in 0..self.cluster.len() {
+            let u = self.cluster.contention(NodeId::from_index(node));
+            self.samplers[node].observe(now, &u, &mut self.sampler_rng);
+        }
+        self.last_monitor_us = t;
+        for shard in &mut self.shards {
+            shard.last_monitor_us = t;
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        let mut component = LatencyRecorder::new();
+        let mut overall = LatencyRecorder::new();
+        let mut stats = self.stats;
+        let mut events = self.ticks;
+        let mut censored = 0u64;
+        for shard in &self.shards {
+            component.merge(&shard.collectors.component_latency);
+            overall.merge(&shard.collectors.overall_latency);
+            stats.requests_completed += shard.collectors.stats.requests_completed;
+            stats.executions += shard.collectors.stats.executions;
+            events += shard.events;
+            censored += shard.reqs.iter().filter(|r| r.live).count() as u64;
+        }
+        stats.requests_censored = censored;
+        stats.batch_jobs_started = self
+            .deltas
+            .iter()
+            .filter(|d| d.add && (self.warmup_us == 0 || d.time_us > self.warmup_us))
+            .count() as u64;
+        RunReport {
+            technique: self.policy.name().to_string(),
+            arrival_rate: self.config.arrival_rate,
+            measured_from: SimTime::ZERO + self.config.warmup,
+            ended_at: SimTime::from_micros(self.end_cap_us),
+            component_latency: component.summary(),
+            overall_latency: overall.summary(),
+            stats,
+            faults: FaultReport::default(),
+            events_processed: events,
+            scheduler_cost: self.hook.cost(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasicPolicy, MigrationRequest, NoopScheduler};
+
+    fn tiny_config(shards: usize) -> SimConfig {
+        let mut config = SimConfig::paper_like(pcs_workloads::ServiceTopology::nutch(4), 40.0, 7);
+        config.node_count = 8;
+        config.horizon = SimDuration::from_secs(6);
+        config.warmup = SimDuration::from_secs(1);
+        config.drain_grace = SimDuration::from_secs(1);
+        config.shards = shards;
+        config
+    }
+
+    fn run_lp(shards: usize, executor: LpExecutor) -> RunReport {
+        LpSimulation::new(
+            tiny_config(shards),
+            Box::new(BasicPolicy),
+            Box::new(NoopScheduler),
+        )
+        .run_with(executor)
+    }
+
+    fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.technique, b.technique);
+        assert_eq!(a.component_latency, b.component_latency);
+        assert_eq!(a.overall_latency, b.overall_latency);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.ended_at, b.ended_at);
+    }
+
+    #[test]
+    fn shard_count_leaves_the_report_invariant() {
+        let one = run_lp(1, LpExecutor::Cooperative);
+        assert!(one.stats.requests_completed > 0, "run must do work");
+        assert!(one.overall_latency.mean > 0.0);
+        for shards in [2, 3, 4] {
+            let many = run_lp(shards, LpExecutor::Cooperative);
+            assert_reports_identical(&one, &many);
+        }
+    }
+
+    #[test]
+    fn executors_agree_byte_for_byte() {
+        let coop = run_lp(3, LpExecutor::Cooperative);
+        let threaded = run_lp(3, LpExecutor::Threaded);
+        assert_reports_identical(&coop, &threaded);
+    }
+
+    /// A deterministic migrating hook: exercises the scheduler-context
+    /// assembly, migration validation and barrier-time application.
+    struct RoundRobinMigrator {
+        calls: usize,
+    }
+
+    impl SchedulerHook for RoundRobinMigrator {
+        fn on_interval(&mut self, ctx: &SchedulerContext<'_>) -> Vec<MigrationRequest> {
+            self.calls += 1;
+            if ctx.components.is_empty() {
+                return Vec::new();
+            }
+            let comp = &ctx.components[self.calls % ctx.components.len()];
+            let to = NodeId::from_index((comp.node.index() + 1) % ctx.node_capacities.len());
+            vec![MigrationRequest {
+                component: comp.id,
+                to,
+            }]
+        }
+    }
+
+    #[test]
+    fn migrating_hook_is_shard_count_invariant() {
+        let run = |shards| {
+            let mut config = tiny_config(shards);
+            config.seed = 11;
+            LpSimulation::new(
+                config,
+                Box::new(BasicPolicy),
+                Box::new(RoundRobinMigrator { calls: 0 }),
+            )
+            .run_with(LpExecutor::Cooperative)
+        };
+        let one = run(1);
+        assert!(one.stats.migrations > 0, "hook must migrate something");
+        let four = run(4);
+        assert_reports_identical(&one, &four);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support fault injection")]
+    fn faulted_configs_are_rejected() {
+        let mut config = tiny_config(2);
+        config.faults =
+            crate::faults::FaultPlan::one_shot(config.node_count, 1, SimTime::from_secs(1));
+        let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
+    }
+}

@@ -36,7 +36,7 @@ struct CtxBuffers {
 
 /// The empty [`SchedulerContext`] handed (in debug builds) to hooks that
 /// declared they ignore their input, to assert they really do.
-fn empty_context(now: SimTime) -> SchedulerContext<'static> {
+pub(crate) fn empty_context(now: SimTime) -> SchedulerContext<'static> {
     SchedulerContext {
         now,
         components: &[],

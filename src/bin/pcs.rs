@@ -61,6 +61,8 @@ fn usage() -> String {
          \x20 --repeats <n>        repeat count override (fig7)\n\
          \x20 --sizes <a,b,c>      cluster-size grid override, nodes (scale)\n\
          \x20 --group-cap <n>      PCS-H per-group component cap (scale)\n\
+         \x20 --shards <n>         sharded intra-run engine, n logical processes\n\
+         \x20                      (scale; omit for the serial engine)\n\
          \x20 --smoke              tiny CI budgets (short horizon, small grid)\n\
          \x20 --json <path>        also write the machine-readable report\n\
          \x20 --quiet              suppress the cell table\n\
@@ -218,6 +220,18 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 params.group_cap = Some(cap);
             }
+            "--shards" => {
+                let shards: usize = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err(
+                        "--shards: must be at least 1 (omit the flag to run the serial engine)"
+                            .to_string(),
+                    );
+                }
+                params.shards = Some(shards);
+            }
             "--sizes" => {
                 let list = value("--sizes")?;
                 if list.trim().is_empty() {
@@ -285,6 +299,13 @@ fn cmd_run(args: &[String]) -> i32 {
     {
         eprintln!(
             "scenario `{}` has no cluster-size grid; --sizes/--group-cap apply to: scale",
+            scenario.name()
+        );
+        return 2;
+    }
+    if run.params.shards.is_some() && scenario.name() != "scale" {
+        eprintln!(
+            "scenario `{}` does not thread the sharded engine; --shards applies to: scale",
             scenario.name()
         );
         return 2;

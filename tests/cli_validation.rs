@@ -124,6 +124,54 @@ fn scale_knobs_are_rejected_on_other_scenarios() {
 }
 
 #[test]
+fn zero_and_malformed_shards_are_rejected() {
+    // `--shards 0` is ambiguous (the serial engine is spelled by omitting
+    // the flag), so the CLI rejects it instead of guessing.
+    rejected_with(
+        &["run", "--scenario", "scale", "--shards", "0"],
+        "at least 1",
+    );
+    rejected_with(
+        &["run", "--scenario", "scale", "--shards", "many"],
+        "--shards",
+    );
+}
+
+#[test]
+fn shards_beyond_the_smallest_cluster_are_rejected() {
+    // Every shard owns at least one node; a 9-way split of an 8-node
+    // cluster is caught when the scale plan is built.
+    rejected_with(
+        &[
+            "run",
+            "--scenario",
+            "scale",
+            "--smoke",
+            "--sizes",
+            "8",
+            "--shards",
+            "9",
+        ],
+        "cannot exceed the smallest cluster size",
+    );
+}
+
+#[test]
+fn shards_are_rejected_on_scenarios_that_do_not_thread_the_knob() {
+    // Only the scale scenario routes `SweepParams::shards` into its sim
+    // configs; silently ignoring the flag elsewhere would claim an LP run
+    // that never happened.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--shards", "2"],
+        "applies to: scale",
+    );
+    rejected_with(
+        &["run", "--scenario", "failures", "--shards", "4"],
+        "applies to: scale",
+    );
+}
+
+#[test]
 fn bench_knobs_are_validated() {
     rejected_with(&["bench", "--threads", "0"], "at least 1");
     rejected_with(&["bench", "--repeats", "0"], "at least 1");
