@@ -44,6 +44,14 @@ pub struct SweepParams {
     /// omitting the flag) and scenarios reject counts above their
     /// smallest cell's node count.
     pub shards: Option<usize>,
+    /// Override of the autoscaler's target utilisation, where applicable
+    /// (the `elastic` scenario's aggressiveness presets). The CLI rejects
+    /// values outside `(0, 1]`.
+    pub target_util: Option<f64>,
+    /// Override of the autoscaler's cooldown between scale actions, in
+    /// seconds, where applicable (the `elastic` scenario). The CLI
+    /// rejects zero, negative and non-finite values.
+    pub cooldown_secs: Option<f64>,
 }
 
 impl Default for SweepParams {
@@ -60,6 +68,8 @@ impl Default for SweepParams {
             group_cap: None,
             sizes: None,
             shards: None,
+            target_util: None,
+            cooldown_secs: None,
         }
     }
 }

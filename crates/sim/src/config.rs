@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::autoscale::AutoscaleConfig;
 use crate::faults::{FailoverPolicy, FaultPlan};
 use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
@@ -112,6 +113,12 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// What happens to a killed node's disrupted sub-requests.
     pub failover: FailoverPolicy,
+    /// Elastic capacity: the autoscaler's knobs ([`crate::autoscale`]).
+    /// `None` — the default everywhere — disables the subsystem and
+    /// leaves the run bit-for-bit identical to a build without it.
+    /// Mutually exclusive with a non-empty fault plan: kill/restore and
+    /// join/drain are separate membership experiments.
+    pub autoscale: Option<AutoscaleConfig>,
     /// Number of logical processes the run is sharded into. `0` (the
     /// default) selects the serial engine — bit-identical to every
     /// previous release. Any value ≥ 1 selects the sharded LP engine
@@ -158,6 +165,7 @@ impl SimConfig {
             service_window: 256,
             faults: FaultPlan::none(),
             failover: FailoverPolicy::default(),
+            autoscale: None,
             shards: 0,
         }
     }
@@ -249,6 +257,21 @@ impl SimConfig {
         );
         assert!(self.service_window > 0, "service window needs capacity");
         self.faults.validate(self.node_count);
+        if let Some(ac) = &self.autoscale {
+            ac.validate(self.node_count);
+            assert!(
+                self.faults.is_empty(),
+                "autoscaling and fault plans are mutually exclusive membership \
+                 experiments; configure one or the other"
+            );
+            assert!(
+                self.deployment.replication <= ac.max_nodes,
+                "replicas of a partition must fit on distinct nodes of the \
+                 initial elastic fleet ({} > {})",
+                self.deployment.replication,
+                ac.max_nodes
+            );
+        }
         let initially_alive = self
             .faults
             .initial_alive(self.node_count)
@@ -406,6 +429,53 @@ mod tests {
             node: NodeId::new(9),
             kind: FaultKind::Kill,
         }]);
+        cfg.validate();
+    }
+
+    fn elastic(cfg: &mut SimConfig) {
+        cfg.autoscale = Some(crate::autoscale::AutoscaleConfig {
+            target_utilization: 0.6,
+            step: 1,
+            cooldown: SimDuration::from_secs(4),
+            cold_start: SimDuration::from_secs(2),
+            min_nodes: 3,
+            max_nodes: cfg.node_count,
+            slo_p99_ms: 50.0,
+        });
+    }
+
+    #[test]
+    fn elastic_config_validates() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 12;
+        elastic(&mut cfg);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn elastic_with_faults_rejected() {
+        use crate::faults::FaultPlan;
+        use pcs_types::SimTime;
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 12;
+        elastic(&mut cfg);
+        cfg.faults =
+            FaultPlan::kill_restore(12, 9, SimTime::from_secs(20), SimDuration::from_secs(5));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "initial elastic fleet")]
+    fn elastic_fleet_must_fit_replicas() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 12;
+        elastic(&mut cfg);
+        if let Some(ac) = &mut cfg.autoscale {
+            ac.min_nodes = 2;
+            ac.max_nodes = 2;
+        }
+        cfg.deployment = DeploymentConfig { replication: 3 };
         cfg.validate();
     }
 

@@ -273,14 +273,24 @@ fn draw_node(seed: u64, salt: u64, pool: usize) -> NodeId {
 /// Whether a node is currently serving, as scheduler hooks see it.
 ///
 /// Flows into [`crate::policy::SchedulerContext::node_status`]: a
-/// liveness-aware hook must never migrate *to* a [`NodeStatus::Down`]
-/// node and should evacuate components *from* one.
+/// liveness-aware hook must never migrate *to* a node that is not
+/// [`NodeStatus::Up`] and should evacuate components *from* a `Down` or
+/// `Draining` one. The `Warming` and `Draining` variants appear only on
+/// elastic runs (`SimConfig::autoscale` set, [`crate::autoscale`]);
+/// fault plans produce only `Up`/`Down`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeStatus {
     /// Serving normally.
     Up,
-    /// Killed and not yet restored.
+    /// Killed and not yet restored — or, on elastic runs, retired from
+    /// the fleet.
     Down,
+    /// Joining the fleet but still cold-starting: visible to hooks, not
+    /// a legal migration destination yet, hosts no components.
+    Warming,
+    /// Being scaled in: still serving what it hosts, accepts no new
+    /// placements, and wants its components evacuated.
+    Draining,
 }
 
 impl NodeStatus {
@@ -477,5 +487,9 @@ mod tests {
     fn node_status_helper() {
         assert!(NodeStatus::Up.is_up());
         assert!(!NodeStatus::Down.is_up());
+        // Warming and draining nodes are not placement targets either:
+        // every `is_up()`-gated destination check covers them for free.
+        assert!(!NodeStatus::Warming.is_up());
+        assert!(!NodeStatus::Draining.is_up());
     }
 }

@@ -33,6 +33,10 @@
 //!   returns component→node migrations each interval; they take effect
 //!   after a configurable delay without interrupting in-flight work,
 //!   mirroring the paper's Storm/ZooKeeper deployment path.
+//! * **Elastic capacity** ([`autoscale`]): an opt-in autoscaler evaluated
+//!   at monitor boundaries joins nodes through a cold-start phase and
+//!   retires them through a lossless drain, reporting node-hours against
+//!   the tail SLO.
 //! * **Monitoring** ([`world`], via `pcs-monitor`): per-node contention is
 //!   sampled at the paper's 1 s / 60 s cadences with measurement noise;
 //!   arrival rates come from sliding-window log profiling.
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autoscale;
 pub mod cluster;
 pub mod component;
 pub mod config;
@@ -56,6 +61,7 @@ pub mod profiler;
 pub mod request;
 pub mod world;
 
+pub use autoscale::{AutoscaleConfig, AutoscalePolicy, AutoscaleReport, AutoscaleStats};
 pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
 pub use engine::{Event, EventQueue};
 pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};

@@ -585,6 +585,11 @@ impl LpSimulation {
             config.faults.is_empty(),
             "the LP engine does not support fault injection; run with shards = 0"
         );
+        assert!(
+            config.autoscale.is_none(),
+            "the LP engine does not support autoscaling (membership churn is \
+             outside the v1 LP scope, like fault plans); run with shards = 0"
+        );
 
         let cluster = match &config.node_capacities {
             Some(caps) => Cluster::heterogeneous(caps.clone()),
@@ -1107,6 +1112,7 @@ impl LpSimulation {
             overall_latency: overall.summary(),
             stats,
             faults: FaultReport::default(),
+            autoscale: crate::autoscale::AutoscaleReport::default(),
             events_processed: events,
             scheduler_cost: self.hook.cost(),
         }
@@ -1209,6 +1215,22 @@ mod tests {
         let mut config = tiny_config(2);
         config.faults =
             crate::faults::FaultPlan::one_shot(config.node_count, 1, SimTime::from_secs(1));
+        let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support autoscaling")]
+    fn elastic_configs_are_rejected() {
+        let mut config = tiny_config(2);
+        config.autoscale = Some(crate::autoscale::AutoscaleConfig {
+            target_utilization: 0.6,
+            step: 1,
+            cooldown: SimDuration::from_secs(2),
+            cold_start: SimDuration::from_secs(1),
+            min_nodes: 1,
+            max_nodes: config.node_count,
+            slo_p99_ms: 50.0,
+        });
         let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
     }
 }

@@ -10,6 +10,7 @@
 //! Plus operational counters that explain the mechanisms: executions,
 //! wasted (duplicate) executions, cancellations, reissues, migrations.
 
+use crate::autoscale::AutoscaleReport;
 use crate::policy::SchedulerCost;
 use pcs_monitor::{LatencyRecorder, LatencySummary};
 use pcs_types::{SimDuration, SimTime};
@@ -135,6 +136,9 @@ pub struct RunReport {
     pub stats: TechniqueStats,
     /// Fault-injection measurements (all-default on an empty fault plan).
     pub faults: FaultReport,
+    /// Autoscaling measurements (all-default when
+    /// [`crate::config::SimConfig::autoscale`] is `None`).
+    pub autoscale: AutoscaleReport,
     /// Discrete events handled over the whole run (arrivals, completions,
     /// timers, monitor/scheduler ticks, …). Fuels the bench harness's
     /// events/sec metric; deliberately absent from scenario reports.
@@ -253,6 +257,7 @@ mod tests {
             overall_latency: rec.summary(),
             stats: TechniqueStats::default(),
             faults: FaultReport::default(),
+            autoscale: AutoscaleReport::default(),
             events_processed: 0,
             scheduler_cost: None,
         };

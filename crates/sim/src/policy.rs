@@ -142,9 +142,14 @@ pub struct SchedulerContext<'a> {
     pub stage_count: usize,
     /// Exact per-node aggregate demand (oracle ablations only).
     pub ground_truth_demand: &'a [ResourceVector],
-    /// Per-node liveness. A liveness-aware hook must never migrate onto a
-    /// [`NodeStatus::Down`] node and should evacuate components stranded
-    /// on one; the world rejects orders targeting dead nodes regardless.
+    /// Per-node membership status. A liveness-aware hook must never
+    /// migrate onto a node that is not [`NodeStatus::Up`] — `Down`,
+    /// [`Warming`](NodeStatus::Warming) (elastic join still
+    /// cold-starting, hosts nothing) or
+    /// [`Draining`](NodeStatus::Draining) (elastic scale-in wanting its
+    /// components evacuated) — and should evacuate components stranded
+    /// on a `Down` or `Draining` one; the world rejects orders
+    /// targeting non-`Up` nodes regardless.
     pub node_status: &'a [NodeStatus],
     /// Per component: the other members of its replica groups (empty
     /// under replication 1). A migration that would co-locate a

@@ -104,6 +104,9 @@ pub struct Simulation {
     /// (class, node contention), so replaying it is bit-identical to
     /// recomputing the slowdown curve.
     mean_cache: Vec<(NodeId, u64, f64)>,
+    /// The elastic-capacity control loop ([`crate::autoscale`]); `None`
+    /// (the default) leaves every handler on its historical path.
+    autoscaler: Option<crate::autoscale::AutoscalePolicy>,
     /// Number of currently killed nodes (0 on the fault-free fast path).
     down_nodes: usize,
     /// Whether any kill has struck yet (fault-phase classification).
@@ -160,7 +163,12 @@ impl Simulation {
         let mut comps = deployment.instantiate(&config.topology);
         // Nodes a fault plan kills at t = 0 must not receive components:
         // initial placement is liveness-aware like the scheduler hooks.
-        let initial_alive = config.faults.initial_alive(config.node_count);
+        // On elastic runs (mutually exclusive with fault plans) the
+        // initial fleet is the autoscaler's fully-provisioned prefix.
+        let initial_alive = match &config.autoscale {
+            Some(ac) => ac.initial_alive(config.node_count),
+            None => config.faults.initial_alive(config.node_count),
+        };
         match config.placement {
             crate::config::PlacementStrategy::AntiAffine => {
                 placement::anti_affine(&mut comps, &deployment, config.node_count, &initial_alive)
@@ -254,6 +262,9 @@ impl Simulation {
             skip_noop_cancels,
             track_queued_mask,
             mean_cache,
+            autoscaler: config
+                .autoscale
+                .map(|ac| crate::autoscale::AutoscalePolicy::new(ac, config.node_count)),
             down_nodes: 0,
             kills_seen: false,
             ctx_bufs: CtxBuffers::default(),
@@ -350,6 +361,14 @@ impl Simulation {
             .iter()
             .filter(|c| c.orphaned_since.is_some())
             .count() as u64;
+        let ended_at = self.queue.now();
+        let autoscale = match &mut self.autoscaler {
+            Some(a) => {
+                a.finalize(ended_at);
+                a.report()
+            }
+            None => crate::autoscale::AutoscaleReport::default(),
+        };
         RunReport {
             technique: self.policy.name().to_string(),
             arrival_rate: self.config.arrival_rate,
@@ -359,6 +378,7 @@ impl Simulation {
             overall_latency: self.collectors.overall_latency.summary(),
             stats: self.collectors.stats,
             faults: self.collectors.fault_report(unresolved_orphans),
+            autoscale,
             events_processed,
             scheduler_cost: self.hook.cost(),
         }
@@ -714,6 +734,12 @@ impl Simulation {
         // Winning response: the paper's component-latency metric is the
         // quickest replica's dispatch→response time.
         let latency = now - item.enqueued_at;
+        if let Some(a) = &mut self.autoscaler {
+            // The autoscaler's windowed tail estimate sees every winning
+            // response, warm-up included (SLO-violation windows are only
+            // counted after warm-up, at the monitor tick).
+            a.observe_latency(latency);
+        }
         if !self.in_warmup {
             self.collectors.component_latency.record(latency);
             // Fault-phase windows exist only when faults are planned, so
@@ -1074,6 +1100,32 @@ impl Simulation {
             let u = self.cluster.contention(NodeId::from_index(n));
             self.samplers[n].observe(now, &u, &mut self.rng);
         }
+        // Elastic capacity: one control evaluation per monitor window,
+        // over the same observed state the hooks see (never ground
+        // truth). Absent an autoscaler this is a no-op and the event
+        // stream stays bit-identical to previous releases.
+        if self.autoscaler.is_some() {
+            let signals = crate::autoscale::AutoscaleSignals {
+                busy_utilization: self.comps.iter().map(|c| c.utilization).sum(),
+                queue_depth: self.comps.iter().map(|c| c.queue_len() as u64).sum(),
+                component_count: self.comps.len(),
+            };
+            let in_warmup = self.in_warmup;
+            let a = self.autoscaler.as_mut().expect("checked above");
+            a.on_monitor_tick(now, &signals, in_warmup);
+            // A drain of a node that hosts nothing (possible the moment
+            // the order lands on a sparsely-placed cluster) needs no
+            // evacuation, so the migration-complete retirement path
+            // would never fire: retire empty draining nodes here.
+            for n in 0..self.cluster.len() {
+                let draining = self.autoscaler.as_ref().is_some_and(|a| a.is_draining(n));
+                if draining && self.comps.iter().all(|c| c.node.index() != n) {
+                    if let Some(a) = &mut self.autoscaler {
+                        a.note_drained(n, now);
+                    }
+                }
+            }
+        }
         let next = now + self.config.sampler.system_period;
         if next <= self.end_cap {
             self.queue.schedule(next, Event::MonitorTick);
@@ -1133,10 +1185,18 @@ impl Simulation {
         for n in 0..self.cluster.len() {
             let node = self.cluster.node(NodeId::from_index(n));
             bufs.demands.push(node.total_demand());
-            bufs.status.push(if node.is_alive() {
-                crate::faults::NodeStatus::Up
-            } else {
-                crate::faults::NodeStatus::Down
+            // On elastic runs the autoscaler owns membership status
+            // (warming/draining nodes stay cluster-alive: batch churn
+            // continues); otherwise status is fault liveness as before.
+            bufs.status.push(match &self.autoscaler {
+                Some(a) => a.status(n),
+                None => {
+                    if node.is_alive() {
+                        crate::faults::NodeStatus::Up
+                    } else {
+                        crate::faults::NodeStatus::Down
+                    }
+                }
             });
             bufs.versions
                 .push(self.cluster.demand_version(NodeId::from_index(n)));
@@ -1163,6 +1223,13 @@ impl Simulation {
             }
             if !self.cluster.is_alive(mr.to) {
                 continue; // never migrate onto a dead node
+            }
+            if self
+                .autoscaler
+                .as_ref()
+                .is_some_and(|a| !a.accepts_placements(mr.to.index()))
+            {
+                continue; // warming/draining/retired nodes take no placements
             }
             if self.comps[ci].migrating_to.is_some() || self.comps[ci].node == mr.to {
                 continue;
@@ -1213,6 +1280,16 @@ impl Simulation {
             self.comps[ci].migrating_to = None;
             return;
         }
+        if self
+            .autoscaler
+            .as_ref()
+            .is_some_and(|a| !a.accepts_placements(to.index()))
+        {
+            // The destination left the active fleet (drain or retirement
+            // ordered mid-flight): abort the same way.
+            self.comps[ci].migrating_to = None;
+            return;
+        }
         let contrib = self.comps[ci].contribution;
         let from = self.comps[ci].node;
         self.cluster.remove_component_demand(from, contrib);
@@ -1225,6 +1302,15 @@ impl Simulation {
             self.collectors.fault_stats.evacuated += 1;
             let now = self.queue.now();
             self.collectors.record_evacuation(now - since);
+        }
+        // A draining node retires the moment its last component leaves.
+        // The queue and in-flight work moved with the component, so the
+        // drain loses nothing by construction.
+        let now = self.queue.now();
+        if let Some(a) = &mut self.autoscaler {
+            if a.is_draining(from.index()) && self.comps.iter().all(|c| c.node != from) {
+                a.note_drained(from.index(), now);
+            }
         }
     }
 
@@ -1721,5 +1807,136 @@ mod tests {
             (baseline.overall_latency.mean - with_empty_plan.overall_latency.mean).abs() < 1e-15
         );
         assert_eq!(baseline.faults, crate::metrics::FaultReport::default());
+    }
+
+    // ---- elastic capacity -------------------------------------------
+
+    use crate::autoscale::{AutoscaleConfig, AutoscaleReport};
+
+    fn elastic_cfg(rate: f64, seed: u64) -> SimConfig {
+        let mut cfg = quiet_config(rate, seed);
+        cfg.autoscale = Some(AutoscaleConfig {
+            target_utilization: 0.5,
+            step: 1,
+            cooldown: SimDuration::from_secs(2),
+            cold_start: SimDuration::from_secs(1),
+            min_nodes: 3,
+            max_nodes: cfg.node_count,
+            slo_p99_ms: 1000.0,
+        });
+        cfg
+    }
+
+    /// A run without an autoscaler must report the all-default
+    /// [`AutoscaleReport`] (the opt-in guarantee, mirroring fault plans).
+    #[test]
+    fn no_autoscaler_reports_default() {
+        let report = run_basic(quiet_config(50.0, 11));
+        assert_eq!(report.autoscale, AutoscaleReport::default());
+    }
+
+    /// An idle fleet with an evacuating hook consolidates to the floor:
+    /// drains are ordered, components are migrated off, nodes retire, and
+    /// not a single request is lost or censored along the way.
+    #[test]
+    fn idle_elastic_fleet_drains_to_the_floor_without_loss() {
+        let cfg = elastic_cfg(20.0, 19);
+        let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(Evacuator)).run();
+        let a = &report.autoscale;
+        assert!(a.stats.scale_in_actions >= 3, "stats: {:?}", a.stats);
+        assert_eq!(
+            a.stats.drains_completed, 3,
+            "6-node fleet with floor 3: exactly three nodes retire ({:?})",
+            a.stats
+        );
+        assert!(a.drain_mean > 0.0 && a.drain_max >= a.drain_mean);
+        // Zero loss by construction: queued work migrates with its
+        // component, so nothing is dropped or stranded.
+        assert_eq!(report.stats.requests_censored, 0);
+        assert_eq!(report.faults.stats.requests_lost, 0);
+        assert!(report.stats.requests_completed > 100);
+        // The consolidation must actually show up in the bill: strictly
+        // fewer node-seconds than a full fleet for the whole run.
+        let full_fleet = 6.0 * report.ended_at.as_secs_f64();
+        assert!(
+            a.node_seconds < full_fleet - 1.0,
+            "node-seconds {} vs full fleet {}",
+            a.node_seconds,
+            full_fleet
+        );
+        assert!(a.measured_windows > 0);
+    }
+
+    /// A hook that never migrates cannot complete a drain: the node stays
+    /// draining (still serving — zero loss), the fleet keeps paying for
+    /// it, and exactly one scale-in stays in flight.
+    #[test]
+    fn blind_hook_never_completes_drains() {
+        let cfg = elastic_cfg(20.0, 19);
+        let report = run_basic(cfg);
+        let a = &report.autoscale;
+        assert_eq!(a.stats.scale_in_actions, 1, "one drain batch at a time");
+        assert_eq!(a.stats.drains_completed, 0);
+        assert_eq!(report.stats.requests_censored, 0);
+        assert_eq!(report.faults.stats.requests_lost, 0);
+        // The bill stays at the full fleet: draining nodes keep billing.
+        let full_fleet = 6.0 * report.ended_at.as_secs_f64();
+        assert!((a.node_seconds - full_fleet).abs() < 1e-6);
+    }
+
+    /// Demand returning after a consolidation re-joins retired nodes
+    /// through the cold-start pipeline (diurnal trough first, peak later).
+    #[test]
+    fn returning_demand_rejoins_through_cold_start() {
+        let mut cfg = elastic_cfg(250.0, 43);
+        cfg.horizon = SimDuration::from_secs(18);
+        // A target low enough that the second peak overflows the
+        // consolidated 3-node floor (peak busy ≈ 1.5 → util ≈ 0.49).
+        if let Some(ac) = &mut cfg.autoscale {
+            ac.target_utilization = 0.4;
+        }
+        // sin-shaped rate over a 12 s period: peaks at 3 s and 15 s, a
+        // deep trough at 9 s. The trough consolidates the fleet; the
+        // second peak arrives after it and must grow the fleet back.
+        cfg.arrival_pattern = pcs_workloads::ArrivalPattern::Diurnal {
+            amplitude: 0.9,
+            period: SimDuration::from_secs(12),
+        };
+        let report = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(Evacuator)).run();
+        let a = &report.autoscale;
+        assert!(a.stats.drains_completed >= 1, "stats: {:?}", a.stats);
+        assert!(
+            a.stats.nodes_joined >= 1 || a.stats.drains_cancelled >= 1,
+            "returning demand must add capacity back: {:?}",
+            a.stats
+        );
+        if a.stats.nodes_joined > 0 {
+            assert!(
+                a.stats.cold_starts_completed > 0,
+                "joins pass through the cold start: {:?}",
+                a.stats
+            );
+        }
+        assert_eq!(report.stats.requests_censored, 0);
+        assert_eq!(report.faults.stats.requests_lost, 0);
+    }
+
+    /// Elastic runs are deterministic: equal seeds give equal reports,
+    /// membership decisions included.
+    #[test]
+    fn elastic_runs_are_deterministic() {
+        let run = |seed| {
+            Simulation::new(
+                elastic_cfg(40.0, seed),
+                Box::new(BasicPolicy),
+                Box::new(Evacuator),
+            )
+            .run()
+        };
+        let x = run(5);
+        let y = run(5);
+        assert_eq!(x.stats, y.stats);
+        assert_eq!(x.autoscale, y.autoscale);
+        assert!((x.component_latency.p99 - y.component_latency.p99).abs() < 1e-15);
     }
 }

@@ -18,6 +18,11 @@
 //!   rack-grouped bounded greedy) over an identical monitored-drift
 //!   sequence. Reports wall-clock *and* the deterministic
 //!   entries-recomputed-per-interval.
+//! * **elastic benches** — the elastic scenario's `steady`-preset
+//!   diurnal cell per evacuation capability (Basic/LL/PCS), reporting
+//!   wall-clock, events/sec and the deterministic node-hours each
+//!   technique bills — the autoscaling subsystem's cost metric, pinned
+//!   alongside its perf.
 //! * **scenario sweeps** — every registered scenario family, run through
 //!   the real [`pcs_harness::run_sweep`] on smoke budgets, so a perf
 //!   regression anywhere in the registry shows up as wall-clock.
@@ -483,6 +488,59 @@ fn parallel_benches(smoke: bool, repeats: usize) -> Vec<Json> {
     rows
 }
 
+/// The elastic-capacity section: the elastic scenario's `steady`-preset
+/// diurnal cell through each evacuation capability, on identical traces.
+/// Beside the usual wall-clock/events-per-sec, each row carries the
+/// run's deterministic `node_hours` — the subsystem's cost metric — so
+/// a bench report also witnesses the headline ordering (PCS bills the
+/// fewest node-hours because its batched evacuation completes drains
+/// fastest).
+fn elastic_benches(smoke: bool, repeats: usize) -> Vec<Json> {
+    let params = SweepParams {
+        seed: 62022,
+        smoke,
+        ..SweepParams::default()
+    };
+    let cfg = base_grid(&params, &[100.0]);
+    let models = train_models(&cfg);
+    let set = vec![techniques::basic(), techniques::ll(), techniques::pcs()];
+    let rate = cfg.rates[0];
+    let mut rows = Vec::new();
+    for technique in &set {
+        let name = format!("elastic/{}", technique.name());
+        eprintln!("bench: {name} @ ~{rate} req/s ...");
+        let config = scenarios::elastic::bench_cell_config(&cfg, rate);
+        let mut wall_ms = f64::INFINITY;
+        let mut events = 0u64;
+        let mut node_hours = 0.0;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let report =
+                fig6::run_cell_with_epsilon(&config, technique.as_ref(), &models, cfg.epsilon_secs);
+            wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            // Deterministic sim: every repeat handles the same events and
+            // bills the same fleet.
+            debug_assert!(events == 0 || events == report.events_processed);
+            events = report.events_processed;
+            node_hours = report.autoscale.node_hours();
+        }
+        let events_per_sec = if wall_ms > 0.0 {
+            events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        rows.push(Json::object(vec![
+            ("bench".into(), Json::from(name)),
+            ("rate".into(), Json::Num(rate)),
+            ("events".into(), Json::from(events)),
+            ("wall_ms".into(), Json::Num(wall_ms)),
+            ("events_per_sec".into(), Json::Num(events_per_sec)),
+            ("node_hours".into(), Json::Num(node_hours)),
+        ]));
+    }
+    rows
+}
+
 /// Runs the bench suite and assembles the report.
 ///
 /// Progress goes to stderr; the returned JSON is the report to write.
@@ -555,6 +613,9 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
     // ---- parallel-engine benches -------------------------------------
     let parallel_rows = parallel_benches(params.smoke, repeats);
 
+    // ---- elastic-capacity benches ------------------------------------
+    let elastic_rows = elastic_benches(params.smoke, repeats);
+
     // ---- scenario sweeps ---------------------------------------------
     let mut scenario_rows = Vec::new();
     for scenario in selected {
@@ -611,6 +672,7 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
         ("event_loop".into(), Json::Array(event_loop)),
         ("scheduler".into(), Json::Array(scheduler_rows)),
         ("parallel".into(), Json::Array(parallel_rows)),
+        ("elastic".into(), Json::Array(elastic_rows)),
         ("scenarios".into(), Json::Array(scenario_rows)),
     ];
     if let Some(baseline) = &params.baseline {
@@ -808,6 +870,26 @@ pub fn check_report(text: &str) -> Result<(), String> {
     if !covered(&|s| s >= 2.0) {
         return Err("parallel section has no multi-shard (shards >= 2) row".into());
     }
+    // The elastic section must witness the autoscaler actually billing a
+    // fleet: every row needs a positive, finite node-hours figure.
+    let elastic_rows = report
+        .get("elastic")
+        .and_then(Json::as_array)
+        .ok_or("report has no elastic array")?;
+    if elastic_rows.is_empty() {
+        return Err("elastic section is empty".into());
+    }
+    for row in elastic_rows {
+        let hours = row.get("node_hours").and_then(Json::as_f64);
+        if !hours.is_some_and(|h| h.is_finite() && h > 0.0) {
+            return Err(format!(
+                "elastic bench `{}` has no positive node_hours",
+                row.get("bench")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed>")
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -847,6 +929,14 @@ mod tests {
         assert_eq!(shard_of(&parallel[2]), 2.0);
         for row in parallel {
             assert!(row.get("events").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+        // Elastic section: one row per evacuation capability, each
+        // billing a real fleet.
+        let elastic = report.get("elastic").and_then(Json::as_array).unwrap();
+        assert_eq!(elastic.len(), 3);
+        for row in elastic {
+            assert!(row.get("events").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("node_hours").and_then(Json::as_f64).unwrap() > 0.0);
         }
         // One scenario only → --check must reject the partial report.
         let rendered = report.render();

@@ -63,6 +63,8 @@ fn usage() -> String {
          \x20 --group-cap <n>      PCS-H per-group component cap (scale)\n\
          \x20 --shards <n>         sharded intra-run engine, n logical processes\n\
          \x20                      (scale; omit for the serial engine)\n\
+         \x20 --target-util <f>    autoscaler target utilisation in (0, 1] (elastic)\n\
+         \x20 --cooldown <secs>    autoscaler cooldown between scale actions (elastic)\n\
          \x20 --smoke              tiny CI budgets (short horizon, small grid)\n\
          \x20 --json <path>        also write the machine-readable report\n\
          \x20 --quiet              suppress the cell table\n\
@@ -252,6 +254,29 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 params.sizes = Some(sizes);
             }
+            "--target-util" => {
+                let target: f64 = value("--target-util")?
+                    .parse()
+                    .map_err(|e| format!("--target-util: {e}"))?;
+                if !(target > 0.0 && target <= 1.0) {
+                    return Err(format!(
+                        "--target-util: target utilisation must be in (0, 1], got {target}"
+                    ));
+                }
+                params.target_util = Some(target);
+            }
+            "--cooldown" => {
+                let secs: f64 = value("--cooldown")?
+                    .parse()
+                    .map_err(|e| format!("--cooldown: {e}"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!(
+                        "--cooldown: must be a positive number of seconds, got {secs} \
+                         (a zero cooldown would let the controller thrash every window)"
+                    ));
+                }
+                params.cooldown_secs = Some(secs);
+            }
             "--smoke" => params.smoke = true,
             "--json" => json_path = Some(value("--json")?),
             "--quiet" => quiet = true,
@@ -304,8 +329,20 @@ fn cmd_run(args: &[String]) -> i32 {
         return 2;
     }
     if run.params.shards.is_some() && scenario.name() != "scale" {
+        // Elastic configs in particular can never shard: membership
+        // churn is outside the LP engine's v1 scope (the engine itself
+        // refuses such configs at construction).
         eprintln!(
             "scenario `{}` does not thread the sharded engine; --shards applies to: scale",
+            scenario.name()
+        );
+        return 2;
+    }
+    if (run.params.target_util.is_some() || run.params.cooldown_secs.is_some())
+        && scenario.name() != "elastic"
+    {
+        eprintln!(
+            "scenario `{}` has no autoscaler; --target-util/--cooldown apply to: elastic",
             scenario.name()
         );
         return 2;

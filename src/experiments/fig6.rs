@@ -292,6 +292,7 @@ mod tests {
                 },
                 stats: TechniqueStats::default(),
                 faults: Default::default(),
+                autoscale: Default::default(),
                 events_processed: 0,
                 scheduler_cost: None,
             },

@@ -26,12 +26,14 @@
 //! | `failures` | techniques under node kill/restore faults |
 //! | `failures-rolling` | techniques under a rolling-restart maintenance wave |
 //! | `scale` | flat vs hierarchical PCS at 100/400/1000 nodes |
+//! | `elastic` | autoscaling: node-hours at a fixed P99 SLO per technique |
 //!
 //! The comparison scenarios sweep the open technique registry
 //! ([`crate::techniques`]); `--techniques <list>` overrides any of their
 //! grids from the CLI.
 
 pub mod ablations;
+pub mod elastic;
 pub mod extended;
 pub mod failures;
 pub mod figures;
@@ -64,6 +66,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(failures::FailuresScenario),
         Box::new(failures::RollingRestartScenario),
         Box::new(scale::ScaleScenario),
+        Box::new(elastic::ElasticScenario),
     ]
 }
 
@@ -222,7 +225,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
@@ -249,7 +252,8 @@ mod tests {
                 "mmpp",
                 "failures",
                 "failures-rolling",
-                "scale"
+                "scale",
+                "elastic"
             ]
         );
     }

@@ -172,6 +172,71 @@ fn shards_are_rejected_on_scenarios_that_do_not_thread_the_knob() {
 }
 
 #[test]
+fn out_of_range_autoscaler_knobs_are_rejected() {
+    // The autoscaler's control-loop knobs are validated at parse time,
+    // before any model training: a target utilisation outside (0, 1] or
+    // a non-positive cooldown can never build a valid AutoscaleConfig.
+    rejected_with(
+        &["run", "--scenario", "elastic", "--target-util", "0"],
+        "in (0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--target-util", "1.5"],
+        "in (0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--target-util", "-0.3"],
+        "in (0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--target-util", "hot"],
+        "--target-util",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--cooldown", "0"],
+        "positive number of seconds",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--cooldown", "-2"],
+        "positive number of seconds",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--cooldown", "inf"],
+        "positive number of seconds",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--cooldown", "soon"],
+        "--cooldown",
+    );
+}
+
+#[test]
+fn autoscaler_knobs_are_rejected_on_non_elastic_scenarios() {
+    // Only the elastic scenario routes the autoscaler knobs into its sim
+    // configs; silently ignoring them elsewhere would claim an elastic
+    // run that never happened.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--target-util", "0.6"],
+        "apply to: elastic",
+    );
+    rejected_with(
+        &["run", "--scenario", "failures", "--cooldown", "4"],
+        "apply to: elastic",
+    );
+}
+
+#[test]
+fn shards_are_rejected_on_the_elastic_scenario() {
+    // Membership churn is outside the LP engine's v1 scope (the engine
+    // itself panics on an autoscale config), so the CLI refuses the
+    // combination up front like every other shards-less scenario.
+    rejected_with(
+        &["run", "--scenario", "elastic", "--shards", "2"],
+        "applies to: scale",
+    );
+}
+
+#[test]
 fn bench_knobs_are_validated() {
     rejected_with(&["bench", "--threads", "0"], "at least 1");
     rejected_with(&["bench", "--repeats", "0"], "at least 1");
@@ -228,7 +293,7 @@ fn list_scenarios_includes_the_failures_and_scale_families() {
     let out = pcs(&["list", "scenarios"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["failures", "failures-rolling", "scale"] {
+    for name in ["failures", "failures-rolling", "scale", "elastic"] {
         assert!(stdout.contains(name), "missing `{name}`:\n{stdout}");
     }
 }

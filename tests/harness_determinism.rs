@@ -161,6 +161,23 @@ fn scale_smoke_report_bytes_are_pinned() {
     );
 }
 
+/// The elastic-capacity family, pinned from its first release: the smoke
+/// grid (12 nodes, `steady` autoscaler preset, diurnal arrivals,
+/// Basic/LL/PCS) covers the whole autoscaling subsystem — warming and
+/// draining membership, cold starts, drain retirement through the
+/// evacuation pass, node-seconds accounting and the SLO-window counters,
+/// all event-derived and thus pinnable.
+#[test]
+fn elastic_smoke_report_bytes_are_pinned() {
+    assert_reproducible("elastic");
+    let report = render("elastic", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0x938e_4e80_d04a_0870,
+        "elastic smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
 fn render_scale_with_shards(shards: usize, threads: usize) -> String {
     let scenario = scenarios::find("scale").expect("scenario registered");
     let params = SweepParams {
