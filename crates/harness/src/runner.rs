@@ -122,6 +122,11 @@ impl SweepOutcome {
         if let Some(shards) = params.shards {
             report.push(("shards_override".into(), Json::from(shards as u64)));
         }
+        // And for observability: the key (the retained top-K) appears
+        // only on observe-on runs.
+        if let Some(top_k) = params.observe {
+            report.push(("observe_override".into(), Json::from(top_k as u64)));
+        }
         report.push(("cells".into(), Json::Array(cells)));
         report.push(("summary".into(), Json::Object(self.summary.clone())));
         Json::object(report)

@@ -52,6 +52,13 @@ pub struct SweepParams {
     /// seconds, where applicable (the `elastic` scenario). The CLI
     /// rejects zero, negative and non-finite values.
     pub cooldown_secs: Option<f64>,
+    /// Observability layer: when set, every simulated cell runs with the
+    /// simulator's `observe` config enabled, retaining this many slowest
+    /// request timelines and adding an `observe` section to the cell
+    /// metrics. The CLI rejects 0, combination with `--shards` (the LP
+    /// engine does not support the layer) and scenarios whose metrics
+    /// are wall-clock timings ([`Scenario::observe_supported`]).
+    pub observe: Option<usize>,
 }
 
 impl Default for SweepParams {
@@ -70,6 +77,7 @@ impl Default for SweepParams {
             shards: None,
             target_util: None,
             cooldown_secs: None,
+            observe: None,
         }
     }
 }
@@ -155,6 +163,16 @@ pub trait Scenario: Sync {
     /// technique override that had no effect would poison provenance).
     fn techniques_selectable(&self) -> bool {
         false
+    }
+
+    /// Whether this scenario's cells can run with the observability
+    /// layer ([`SweepParams::observe`]). Scenarios whose metrics are
+    /// wall-clock timings (fig7, the rebuild ablation) override to
+    /// `false`: the layer is zero-cost in simulated time but not in real
+    /// time, so observe-on runs would perturb exactly what those
+    /// scenarios measure. The CLI rejects the combination outright.
+    fn observe_supported(&self) -> bool {
+        true
     }
 
     /// Builds the sweep plan for the given parameters. Expensive shared

@@ -125,6 +125,23 @@ impl LatencyRecorder {
     }
 }
 
+/// Cohort index ranges over an ascending-sorted latency population of
+/// `count` samples: `(median_band, tail_band)`. The median band covers
+/// the 45th–55th percentile ranks (at least one sample); the tail band
+/// covers the slowest ~1% (at least one sample). `None` on an empty
+/// population. On tiny populations the bands may overlap (a single
+/// sample is both its own median and its own tail).
+pub fn cohort_ranges(count: usize) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    if count == 0 {
+        return None;
+    }
+    let tail_len = count.div_ceil(100);
+    let tail = (count - tail_len)..count;
+    let lo = count * 45 / 100;
+    let hi = (count * 55 / 100).max(lo + 1);
+    Some((lo..hi, tail))
+}
+
 /// A bounded sliding window of observed service times, exposing the
 /// moments (x̄, var, C²ₓ) the extended performance model consumes.
 #[derive(Debug, Clone)]
@@ -230,6 +247,27 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn rejects_negative_latency() {
         LatencyRecorder::new().record_secs(-0.1);
+    }
+
+    #[test]
+    fn cohort_ranges_cover_median_band_and_tail() {
+        assert_eq!(cohort_ranges(0), None);
+        // A single sample is both cohorts.
+        assert_eq!(cohort_ranges(1), Some((0..1, 0..1)));
+        // Two samples: the faster is the median, the slower the tail.
+        assert_eq!(cohort_ranges(2), Some((0..1, 1..2)));
+        let (median, tail) = cohort_ranges(100).unwrap();
+        assert_eq!(median, 45..55);
+        assert_eq!(tail, 99..100);
+        let (median, tail) = cohort_ranges(250).unwrap();
+        assert_eq!(median, 112..137);
+        assert_eq!(tail, 247..250);
+        // Bands always hold at least one sample and stay in bounds.
+        for n in 1..400 {
+            let (m, t) = cohort_ranges(n).unwrap();
+            assert!(!m.is_empty() && m.end <= n, "{n}: {m:?}");
+            assert!(!t.is_empty() && t.end == n, "{n}: {t:?}");
+        }
     }
 
     #[test]

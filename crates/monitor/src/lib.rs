@@ -28,6 +28,6 @@ pub mod latency;
 pub mod rate;
 pub mod sampler;
 
-pub use latency::{LatencyRecorder, LatencySummary, ServiceTimeWindow};
+pub use latency::{cohort_ranges, LatencyRecorder, LatencySummary, ServiceTimeWindow};
 pub use rate::ArrivalRateEstimator;
 pub use sampler::{ContentionSampler, SamplerConfig};

@@ -2,6 +2,7 @@
 
 use crate::autoscale::AutoscaleConfig;
 use crate::faults::{FailoverPolicy, FaultPlan};
+use crate::observe::ObserveConfig;
 use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
 use pcs_workloads::{ArrivalPattern, JobGenConfig, ServiceTopology};
@@ -128,6 +129,15 @@ pub struct SimConfig {
     /// model). Only replication-1, fault-free, non-reissuing runs are
     /// supported by the LP engine.
     pub shards: usize,
+    /// Tail-attribution observability ([`crate::observe`]). `None` — the
+    /// default everywhere — disables the layer and leaves the run
+    /// byte-identical to a build without it. When set, the run gains
+    /// request timelines, tail attribution, windowed time-series and a
+    /// scheduler decision audit in
+    /// [`RunReport::observe`](crate::RunReport::observe); the simulated
+    /// trajectory is unchanged (the layer consumes no randomness and
+    /// schedules no events). Not supported by the LP engine in v1.
+    pub observe: Option<ObserveConfig>,
 }
 
 impl SimConfig {
@@ -167,6 +177,7 @@ impl SimConfig {
             failover: FailoverPolicy::default(),
             autoscale: None,
             shards: 0,
+            observe: None,
         }
     }
 
@@ -271,6 +282,9 @@ impl SimConfig {
                 self.deployment.replication,
                 ac.max_nodes
             );
+        }
+        if let Some(obs) = &self.observe {
+            obs.validate();
         }
         let initially_alive = self
             .faults
@@ -476,6 +490,21 @@ mod tests {
             ac.max_nodes = 2;
         }
         cfg.deployment = DeploymentConfig { replication: 3 };
+        cfg.validate();
+    }
+
+    #[test]
+    fn observe_config_validates() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.observe = Some(crate::observe::ObserveConfig { top_k: 10 });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k must be at least 1")]
+    fn zero_observe_top_k_rejected() {
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.observe = Some(crate::observe::ObserveConfig { top_k: 0 });
         cfg.validate();
     }
 

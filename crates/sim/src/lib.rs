@@ -37,6 +37,10 @@
 //!   at monitor boundaries joins nodes through a cold-start phase and
 //!   retires them through a lossless drain, reporting node-hours against
 //!   the tail SLO.
+//! * **Observability** ([`observe`]): opt-in deterministic request
+//!   timelines, tail-vs-median blame attribution, windowed time-series
+//!   and scheduler decision audits — with zero effect on the simulated
+//!   trajectory (no randomness consumed, no events scheduled).
 //! * **Monitoring** ([`world`], via `pcs-monitor`): per-node contention is
 //!   sampled at the paper's 1 s / 60 s cadences with measurement noise;
 //!   arrival rates come from sliding-window log profiling.
@@ -55,6 +59,7 @@ pub mod faults;
 pub mod ground_truth;
 pub mod lp;
 pub mod metrics;
+pub mod observe;
 pub mod placement;
 pub mod policy;
 pub mod profiler;
@@ -68,6 +73,10 @@ pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
 pub use lp::{LpExecutor, LpSimulation, HOP_US};
 pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};
+pub use observe::{
+    AuditDecision, BlameShare, IntervalAudit, ObserveConfig, ObserveReport, RequestTimeline,
+    Segment, SegmentKind, SeriesRow, TailAttribution,
+};
 pub use policy::{
     BasicPolicy, DispatchPolicy, MigrationRequest, NoopScheduler, SchedulerContext, SchedulerCost,
     SchedulerHook,

@@ -590,6 +590,12 @@ impl LpSimulation {
             "the LP engine does not support autoscaling (membership churn is \
              outside the v1 LP scope, like fault plans); run with shards = 0"
         );
+        assert!(
+            config.observe.is_none(),
+            "the LP engine does not support the observability layer \
+             (cross-shard timelines are outside the v1 LP scope, like fault \
+             plans); run with shards = 0"
+        );
 
         let cluster = match &config.node_capacities {
             Some(caps) => Cluster::heterogeneous(caps.clone()),
@@ -1115,6 +1121,7 @@ impl LpSimulation {
             autoscale: crate::autoscale::AutoscaleReport::default(),
             events_processed: events,
             scheduler_cost: self.hook.cost(),
+            observe: None,
         }
     }
 }
@@ -1231,6 +1238,14 @@ mod tests {
             max_nodes: config.node_count,
             slo_p99_ms: 50.0,
         });
+        let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support the observability layer")]
+    fn observed_configs_are_rejected() {
+        let mut config = tiny_config(2);
+        config.observe = Some(crate::observe::ObserveConfig::default());
         let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
     }
 }

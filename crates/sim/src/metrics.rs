@@ -11,6 +11,7 @@
 //! wasted (duplicate) executions, cancellations, reissues, migrations.
 
 use crate::autoscale::AutoscaleReport;
+use crate::observe::ObserveReport;
 use crate::policy::SchedulerCost;
 use pcs_monitor::{LatencyRecorder, LatencySummary};
 use pcs_types::{SimDuration, SimTime};
@@ -147,6 +148,11 @@ pub struct RunReport {
     /// tracks them ([`SchedulerHook::cost`](crate::SchedulerHook::cost)).
     /// `None` for non-migrating techniques.
     pub scheduler_cost: Option<SchedulerCost>,
+    /// Tail-attribution observability ([`crate::observe`]): request
+    /// timelines, blame breakdown, time-series and decision audits.
+    /// `None` unless [`SimConfig::observe`](crate::SimConfig::observe)
+    /// was set.
+    pub observe: Option<ObserveReport>,
 }
 
 impl RunReport {
@@ -260,6 +266,7 @@ mod tests {
             autoscale: AutoscaleReport::default(),
             events_processed: 0,
             scheduler_cost: None,
+            observe: None,
         };
         assert!((report.component_p99_ms() - 99.01).abs() < 0.1);
         assert!((report.overall_mean_ms() - 50.5).abs() < 0.01);

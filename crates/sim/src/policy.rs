@@ -14,6 +14,7 @@
 //! never migrates (all non-PCS techniques).
 
 use crate::faults::NodeStatus;
+use crate::observe::IntervalAudit;
 use pcs_types::{
     ComponentId, ContentionVector, NodeCapacity, NodeId, ResourceVector, SimDuration, SimTime,
 };
@@ -248,6 +249,22 @@ pub trait SchedulerHook {
     /// when the run ends. The default (`None`) means the hook does not
     /// track cost.
     fn cost(&self) -> Option<SchedulerCost> {
+        None
+    }
+
+    /// Asks the hook to build an [`IntervalAudit`] for every interval it
+    /// analyses (predicted Eq. 4 gain per enacted decision). Called once
+    /// before the run starts when [`crate::SimConfig::observe`] is set;
+    /// hooks without a prediction model (the no-op scheduler, the
+    /// least-loaded baseline) ignore it.
+    fn enable_audit(&mut self) {}
+
+    /// Takes the audit record of the interval that just ran, if the hook
+    /// built one. The observer assigns the interval index and fills the
+    /// realised delta at run end; hooks leave
+    /// [`IntervalAudit::interval`] zero and
+    /// [`IntervalAudit::realized_delta`] `None`.
+    fn take_interval_audit(&mut self) -> Option<IntervalAudit> {
         None
     }
 }

@@ -8,6 +8,7 @@ use crate::engine::{Event, EventQueue};
 use crate::faults::{FailoverPolicy, FaultKind};
 use crate::ground_truth::GroundTruth;
 use crate::metrics::{Collectors, FaultPhase, RunReport};
+use crate::observe::{Observer, StageChain, WindowSample};
 use crate::placement;
 use crate::policy::{ComponentMeta, DispatchPolicy, SchedulerContext, SchedulerHook};
 use crate::request::RequestTable;
@@ -111,6 +112,11 @@ pub struct Simulation {
     down_nodes: usize,
     /// Whether any kill has struck yet (fault-phase classification).
     kills_seen: bool,
+    /// The tail-attribution observer ([`crate::observe`]); `None` (the
+    /// default) keeps every handler on its historical path. The observer
+    /// is pure bookkeeping: it draws no randomness and schedules no
+    /// events, so the simulated trajectory is identical either way.
+    observer: Option<Observer>,
     /// Reusable scheduler-context buffers.
     ctx_bufs: CtxBuffers,
 }
@@ -142,10 +148,13 @@ impl Simulation {
     pub fn with_arrivals(
         config: SimConfig,
         policy: Box<dyn DispatchPolicy>,
-        hook: Box<dyn SchedulerHook>,
+        mut hook: Box<dyn SchedulerHook>,
         arrivals: Box<dyn ArrivalProcess + Send>,
     ) -> Self {
         config.validate();
+        if config.observe.is_some() {
+            hook.enable_audit();
+        }
         assert_eq!(
             config.deployment.replication,
             policy.replication(),
@@ -267,6 +276,7 @@ impl Simulation {
                 .map(|ac| crate::autoscale::AutoscalePolicy::new(ac, config.node_count)),
             down_nodes: 0,
             kills_seen: false,
+            observer: config.observe.map(|oc| Observer::new(&oc)),
             ctx_bufs: CtxBuffers::default(),
             config,
             rng: SmallRng::seed_from_u64(0), // replaced below
@@ -381,6 +391,7 @@ impl Simulation {
             autoscale,
             events_processed,
             scheduler_cost: self.hook.cost(),
+            observe: self.observer.take().map(Observer::finalize),
         }
     }
 
@@ -793,6 +804,23 @@ impl Simulation {
         }
 
         if stage_done {
+            // The response that completes a stage belongs, by
+            // construction, to the stage's last-finishing (critical)
+            // partition: its chain is the stage's critical path.
+            if let Some(obs) = &mut self.observer {
+                obs.record_stage(StageChain {
+                    id: item.request,
+                    stage: item.stage as u8,
+                    partition: item.partition as u16,
+                    component,
+                    node: self.comps[component.index()].node,
+                    dispatched_at: progress.dispatched_at,
+                    enqueued_at: item.enqueued_at,
+                    reissued_at: progress.reissued_at,
+                    started_at: inflight.started_at,
+                    completed_at: now,
+                });
+            }
             self.advance_stage(item.request);
         }
     }
@@ -877,11 +905,15 @@ impl Simulation {
         let next = req.stage + 1;
         if next == stage_count {
             let total = now - req.arrived;
+            let arrived = req.arrived;
             if !self.in_warmup {
                 self.collectors.overall_latency.record(total);
             }
             self.collectors.stats.requests_completed += 1;
             self.requests.remove(request);
+            if let Some(obs) = &mut self.observer {
+                obs.complete_request(request, arrived, now, total, self.in_warmup);
+            }
             return;
         }
         let partitions = self.deployment.partition_count(next);
@@ -942,6 +974,9 @@ impl Simulation {
     fn lose_request(&mut self, request: RequestId) {
         if self.requests.remove(request) {
             self.collectors.fault_stats.requests_lost += 1;
+            if let Some(obs) = &mut self.observer {
+                obs.drop_request(request);
+            }
         }
     }
 
@@ -963,6 +998,14 @@ impl Simulation {
                 match target {
                     Some(target) => {
                         self.collectors.fault_stats.failed_over += 1;
+                        if let Some(obs) = &mut self.observer {
+                            obs.note_failover(
+                                item.request,
+                                item.stage as u8,
+                                item.partition as u16,
+                                self.queue.now(),
+                            );
+                        }
                         // The item keeps its original enqueue time, so the
                         // component-latency metric absorbs the disruption.
                         self.enqueue_sub(target, item);
@@ -983,6 +1026,9 @@ impl Simulation {
                 self.down_nodes += 1;
                 self.kills_seen = true;
                 self.collectors.fault_stats.kills += 1;
+                if let Some(obs) = &mut self.observer {
+                    obs.set_fault_active(true);
+                }
                 // Strand every hosted component: abort its execution (the
                 // pending completion event goes stale via the epoch), zero
                 // its demand bookkeeping, and collect its disrupted work.
@@ -1027,6 +1073,10 @@ impl Simulation {
                 }
                 self.down_nodes -= 1;
                 self.collectors.fault_stats.restores += 1;
+                let still_down = self.down_nodes > 0;
+                if let Some(obs) = &mut self.observer {
+                    obs.set_fault_active(still_down);
+                }
                 // Components still stranded here resume in place: the
                 // node's return re-places them without a migration.
                 for ci in 0..self.comps.len() {
@@ -1126,6 +1176,50 @@ impl Simulation {
                 }
             }
         }
+        // One time-series row per monitor window: per-node state plus
+        // window deltas of the mechanism counters (the observer converts
+        // the cumulative values). Pure reads — nothing below mutates
+        // simulation state.
+        if let Some(observer) = &mut self.observer {
+            let mut util = vec![0.0; self.cluster.len()];
+            let mut depth = vec![0u64; self.cluster.len()];
+            for c in &self.comps {
+                util[c.node.index()] += c.utilization;
+                depth[c.node.index()] += c.queue_len() as u64;
+            }
+            let (warming, draining, autoscale_actions) = match &self.autoscaler {
+                Some(a) => {
+                    let mut warming = 0u64;
+                    let mut draining = 0u64;
+                    for n in 0..self.cluster.len() {
+                        match a.status(n) {
+                            crate::faults::NodeStatus::Warming => warming += 1,
+                            crate::faults::NodeStatus::Draining => draining += 1,
+                            _ => {}
+                        }
+                    }
+                    let stats = a.report().stats;
+                    (
+                        warming,
+                        draining,
+                        stats.scale_out_actions + stats.scale_in_actions,
+                    )
+                }
+                None => (0, 0, 0),
+            };
+            let sample = WindowSample {
+                at: now,
+                node_utilization: util,
+                node_queue_depth: depth,
+                migrations: self.collectors.stats.migrations,
+                reissues: self.collectors.stats.reissues,
+                autoscale_actions,
+                warming_nodes: warming,
+                draining_nodes: draining,
+                down_nodes: self.down_nodes as u64,
+            };
+            observer.record_window(sample);
+        }
         let next = now + self.config.sampler.system_period;
         if next <= self.end_cap {
             self.queue.schedule(next, Event::MonitorTick);
@@ -1146,6 +1240,10 @@ impl Simulation {
             }
             for sampler in &mut self.samplers {
                 sampler.discard_window();
+            }
+            if let Some(observer) = &mut self.observer {
+                let audit = self.hook.take_interval_audit();
+                observer.on_scheduler_interval(audit);
             }
             let next = now + self.config.scheduler_interval;
             if next <= self.end_cap {
@@ -1250,6 +1348,10 @@ impl Simulation {
                     to: mr.to,
                 },
             );
+        }
+        if let Some(observer) = &mut self.observer {
+            let audit = self.hook.take_interval_audit();
+            observer.on_scheduler_interval(audit);
         }
         let next = now + self.config.scheduler_interval;
         if next <= self.end_cap {
@@ -1938,5 +2040,80 @@ mod tests {
         assert_eq!(x.stats, y.stats);
         assert_eq!(x.autoscale, y.autoscale);
         assert!((x.component_latency.p99 - y.component_latency.p99).abs() < 1e-15);
+    }
+
+    // ---- observability ----------------------------------------------
+
+    /// Turning the observer on must not perturb the simulated trajectory:
+    /// same seed, observe off vs on, identical measurements — the layer
+    /// only *adds* the observe section.
+    #[test]
+    fn observe_layer_does_not_perturb_the_run() {
+        let baseline = run_basic(quiet_config(50.0, 11));
+        assert!(baseline.observe.is_none());
+        let mut cfg = quiet_config(50.0, 11);
+        cfg.observe = Some(crate::observe::ObserveConfig { top_k: 7 });
+        let observed = run_basic(cfg);
+        assert_eq!(baseline.stats, observed.stats);
+        assert_eq!(baseline.events_processed, observed.events_processed);
+        assert!((baseline.overall_latency.mean - observed.overall_latency.mean).abs() < 1e-15);
+        assert!((baseline.component_latency.p99 - observed.component_latency.p99).abs() < 1e-15);
+
+        let obs = observed.observe.expect("observe report present");
+        assert_eq!(obs.requests_traced, observed.stats.requests_completed);
+        assert_eq!(obs.timelines.len(), 7);
+        // Slowest-first retention; the slowest timeline is the recorded
+        // overall maximum.
+        assert!(
+            (obs.timelines[0].total.as_secs_f64() - observed.overall_latency.max).abs() < 1e-12
+        );
+        assert!(obs.timelines.windows(2).all(|w| w[0].total >= w[1].total));
+        // The segments-sum invariant holds for every retained timeline.
+        for t in &obs.timelines {
+            let sum: u64 = t.segments.iter().map(|s| s.duration().as_micros()).sum();
+            assert_eq!(sum, t.total.as_micros(), "timeline of {}", t.id);
+        }
+        // Attribution covers the cohorts; the tail is at least as slow.
+        assert!(obs.attribution.tail_count >= 1);
+        assert!(obs.attribution.tail_mean_secs >= obs.attribution.median_mean_secs);
+        assert!(!obs.attribution.blame.is_empty());
+        // One series row per monitor window (1 s cadence, 13 s run).
+        assert!(obs.series.len() >= 8, "series rows: {}", obs.series.len());
+        // The no-op hook audits nothing.
+        assert!(obs.audits.is_empty());
+    }
+
+    /// Observed fault runs classify failover disruption into dedicated
+    /// segments while keeping the invariant (exercised by the debug
+    /// assertion in `complete_request` on every completion too).
+    #[test]
+    fn observe_attributes_failover_requeues() {
+        // High enough load that the killed component has a deep queue, so
+        // the re-dispatched sub-requests land behind the backup's own
+        // backlog and finish last — putting the failover on the critical
+        // path (a failover absorbed by an idle backup is invisible there,
+        // by design).
+        let mut cfg = quiet_config(850.0, 17);
+        cfg.faults = FaultPlan::new(vec![kill_at(2, 4.0)]);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        cfg.observe = Some(crate::observe::ObserveConfig { top_k: 100_000 });
+        let report = Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(NoopScheduler)).run();
+        assert!(report.faults.stats.failed_over > 0);
+        let obs = report.observe.expect("observe report present");
+        let requeues = obs
+            .timelines
+            .iter()
+            .flat_map(|t| &t.segments)
+            .filter(|s| s.kind == crate::observe::SegmentKind::FailoverRequeue)
+            .count();
+        assert!(requeues > 0, "failover must surface as requeue segments");
+        // Fault-window segments carry the fault flag.
+        assert!(obs
+            .timelines
+            .iter()
+            .flat_map(|t| &t.segments)
+            .any(|s| s.flags & crate::observe::FLAG_FAULT != 0));
+        let during: Vec<_> = obs.series.iter().filter(|r| r.down_nodes > 0).collect();
+        assert!(!during.is_empty(), "series must show the down window");
     }
 }

@@ -23,6 +23,11 @@
 //!   wall-clock, events/sec and the deterministic node-hours each
 //!   technique bills — the autoscaling subsystem's cost metric, pinned
 //!   alongside its perf.
+//! * **observability benches** — the pinned fig6 smoke PCS cell run
+//!   with the observe layer off and on (same trace: instrumentation
+//!   consumes no randomness and schedules no events), reporting both
+//!   wall-clocks and the on/off overhead ratio. The off row is the
+//!   regression sentinel for the layer's zero-cost-when-disabled claim.
 //! * **scenario sweeps** — every registered scenario family, run through
 //!   the real [`pcs_harness::run_sweep`] on smoke budgets, so a perf
 //!   regression anywhere in the registry shows up as wall-clock.
@@ -541,6 +546,74 @@ fn elastic_benches(smoke: bool, repeats: usize) -> Vec<Json> {
     rows
 }
 
+/// The observability section: the pinned fig6 smoke PCS cell with the
+/// observe layer off and on. Both rows replay the identical trace (the
+/// layer consumes no randomness and schedules no events — the event
+/// counts must match), so the wall-clock difference is exactly the
+/// bookkeeping cost of timelines + attribution + series + audits, and
+/// `overhead_vs_off` quantifies it.
+fn observe_benches(repeats: usize) -> Vec<Json> {
+    let params = SweepParams {
+        seed: 62015,
+        smoke: true,
+        ..SweepParams::default()
+    };
+    let cfg = base_grid(&params, &[10.0, 20.0, 50.0, 100.0, 200.0, 500.0]);
+    let models = train_models(&cfg);
+    let technique = techniques::pcs();
+    let rate = cfg.rates[0];
+    let mut rows = Vec::new();
+    let mut off_wall = None;
+    let mut off_events = 0u64;
+    for (name, top_k) in [("observe/off", None), ("observe/on", Some(5usize))] {
+        eprintln!("bench: {name} @ {rate} req/s ...");
+        let mut config = fig6::cell_config(&cfg, rate);
+        config.observe = top_k.map(|top_k| pcs_sim::ObserveConfig { top_k });
+        let mut wall_ms = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let report =
+                fig6::run_cell_with_epsilon(&config, technique.as_ref(), &models, cfg.epsilon_secs);
+            wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            debug_assert!(events == 0 || events == report.events_processed);
+            events = report.events_processed;
+        }
+        match top_k {
+            None => {
+                off_wall = Some(wall_ms);
+                off_events = events;
+            }
+            Some(_) => debug_assert_eq!(
+                events, off_events,
+                "the observe layer must schedule no events"
+            ),
+        }
+        let events_per_sec = if wall_ms > 0.0 {
+            events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        rows.push(Json::object(vec![
+            ("bench".into(), Json::from(name)),
+            ("rate".into(), Json::Num(rate)),
+            ("top_k".into(), top_k.map(Json::from).unwrap_or(Json::Null)),
+            ("events".into(), Json::from(events)),
+            ("wall_ms".into(), Json::Num(wall_ms)),
+            ("events_per_sec".into(), Json::Num(events_per_sec)),
+            (
+                "overhead_vs_off".into(),
+                match (top_k, off_wall) {
+                    // on/off: > 1 means the layer cost wall-clock.
+                    (Some(_), Some(off)) => ratio(wall_ms, off),
+                    _ => Json::Null,
+                },
+            ),
+        ]));
+    }
+    rows
+}
+
 /// Runs the bench suite and assembles the report.
 ///
 /// Progress goes to stderr; the returned JSON is the report to write.
@@ -616,6 +689,9 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
     // ---- elastic-capacity benches ------------------------------------
     let elastic_rows = elastic_benches(params.smoke, repeats);
 
+    // ---- observability benches ---------------------------------------
+    let observe_rows = observe_benches(repeats);
+
     // ---- scenario sweeps ---------------------------------------------
     let mut scenario_rows = Vec::new();
     for scenario in selected {
@@ -673,6 +749,7 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
         ("scheduler".into(), Json::Array(scheduler_rows)),
         ("parallel".into(), Json::Array(parallel_rows)),
         ("elastic".into(), Json::Array(elastic_rows)),
+        ("observe".into(), Json::Array(observe_rows)),
         ("scenarios".into(), Json::Array(scenario_rows)),
     ];
     if let Some(baseline) = &params.baseline {
@@ -890,6 +967,23 @@ pub fn check_report(text: &str) -> Result<(), String> {
             ));
         }
     }
+    // The observe section must witness both sides of the zero-cost
+    // claim: an instrumentation-off row (the regression sentinel against
+    // the previous PR's baseline) and an instrumentation-on row.
+    let observe_rows = report
+        .get("observe")
+        .and_then(Json::as_array)
+        .ok_or("report has no observe array")?;
+    for name in ["observe/off", "observe/on"] {
+        let row = observe_rows
+            .iter()
+            .find(|row| row.get("bench").and_then(Json::as_str) == Some(name))
+            .ok_or_else(|| format!("observe section has no `{name}` row"))?;
+        let wall = row.get("wall_ms").and_then(Json::as_f64);
+        if !wall.is_some_and(|w| w.is_finite() && w > 0.0) {
+            return Err(format!("observe bench `{name}` has no positive wall_ms"));
+        }
+    }
     Ok(())
 }
 
@@ -938,6 +1032,27 @@ mod tests {
             assert!(row.get("events").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(row.get("node_hours").and_then(Json::as_f64).unwrap() > 0.0);
         }
+        // Observe section: the same pinned cell off and on, identical
+        // event counts (the layer schedules nothing), overhead ratio on
+        // the on-row only.
+        let observe = report.get("observe").and_then(Json::as_array).unwrap();
+        assert_eq!(observe.len(), 2);
+        let name_of = |row: &Json| row.get("bench").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(name_of(&observe[0]), "observe/off");
+        assert_eq!(name_of(&observe[1]), "observe/on");
+        let events_of = |row: &Json| row.get("events").and_then(Json::as_f64).unwrap();
+        assert!(events_of(&observe[0]) > 0.0);
+        assert_eq!(events_of(&observe[0]), events_of(&observe[1]));
+        assert!(observe[0]
+            .get("overhead_vs_off")
+            .unwrap()
+            .as_f64()
+            .is_none());
+        assert!(observe[1]
+            .get("overhead_vs_off")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
         // One scenario only → --check must reject the partial report.
         let rendered = report.render();
         let err = check_report(&rendered).unwrap_err();

@@ -65,6 +65,12 @@ fn usage() -> String {
          \x20                      (scale; omit for the serial engine)\n\
          \x20 --target-util <f>    autoscaler target utilisation in (0, 1] (elastic)\n\
          \x20 --cooldown <secs>    autoscaler cooldown between scale actions (elastic)\n\
+         \x20 --observe            observability layer: request timelines, tail\n\
+         \x20                      attribution, time-series, scheduler audits\n\
+         \x20 --top-k <n>          slowest timelines retained per cell (default 5;\n\
+         \x20                      requires --observe)\n\
+         \x20 --trace-out <path>   write the retained timelines as Chrome trace-event\n\
+         \x20                      JSON, loadable in Perfetto (requires --observe)\n\
          \x20 --smoke              tiny CI budgets (short horizon, small grid)\n\
          \x20 --json <path>        also write the machine-readable report\n\
          \x20 --quiet              suppress the cell table\n\
@@ -135,6 +141,7 @@ struct RunArgs {
     params: SweepParams,
     seed_override: Option<u64>,
     json_path: Option<String>,
+    trace_path: Option<String>,
     quiet: bool,
 }
 
@@ -143,6 +150,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut params = SweepParams::default();
     let mut seed_override = None;
     let mut json_path = None;
+    let mut observe = false;
+    let mut top_k = None;
+    let mut trace_path = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -277,10 +287,44 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 params.cooldown_secs = Some(secs);
             }
+            "--observe" => observe = true,
+            "--top-k" => {
+                let k: usize = value("--top-k")?
+                    .parse()
+                    .map_err(|e| format!("--top-k: {e}"))?;
+                if k == 0 {
+                    return Err(
+                        "--top-k: must be at least 1 (0 would retain no timelines)".to_string()
+                    );
+                }
+                top_k = Some(k);
+            }
+            "--trace-out" => trace_path = Some(value("--trace-out")?),
             "--smoke" => params.smoke = true,
             "--json" => json_path = Some(value("--json")?),
             "--quiet" => quiet = true,
             other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if !observe {
+        if top_k.is_some() {
+            return Err("--top-k requires --observe (it sizes the observe retention)".to_string());
+        }
+        if trace_path.is_some() {
+            return Err(
+                "--trace-out requires --observe (the trace is built from observe timelines)"
+                    .to_string(),
+            );
+        }
+    }
+    if observe {
+        params.observe = Some(top_k.unwrap_or(5));
+        if params.shards.is_some() {
+            return Err(
+                "--observe cannot combine with --shards: the sharded LP engine does not \
+                 support the observability layer (run serial by omitting --shards)"
+                    .to_string(),
+            );
         }
     }
     Ok(RunArgs {
@@ -288,6 +332,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         params,
         seed_override,
         json_path,
+        trace_path,
         quiet,
     })
 }
@@ -347,6 +392,20 @@ fn cmd_run(args: &[String]) -> i32 {
         );
         return 2;
     }
+    if run.params.observe.is_some() && !scenario.observe_supported() {
+        let supported: Vec<&str> = scenarios::registry()
+            .iter()
+            .filter(|s| s.observe_supported())
+            .map(|s| s.name())
+            .collect();
+        eprintln!(
+            "scenario `{}` does not support the observability layer (its metrics are \
+             wall-clock or it runs no simulation); --observe applies to: {}",
+            scenario.name(),
+            supported.join(", ")
+        );
+        return 2;
+    }
     run.params.seed = run.seed_override.unwrap_or_else(|| scenario.default_seed());
 
     eprintln!(
@@ -377,6 +436,21 @@ fn cmd_run(args: &[String]) -> i32 {
             return 1;
         }
         eprintln!("JSON report written to {path}");
+    }
+    if let Some(path) = &run.trace_path {
+        let report = outcome.to_json(scenario.name(), &run.params);
+        let rendered = pcs::trace::chrome_trace(&report).render() + "\n";
+        // The trace must round-trip the harness's own strict parser:
+        // writing a file Perfetto would reject is worse than failing.
+        if let Err(error) = Json::parse(&rendered) {
+            eprintln!("internal error: trace does not round-trip: {error}");
+            return 1;
+        }
+        if let Err(error) = std::fs::write(path, rendered) {
+            eprintln!("writing {path}: {error}");
+            return 1;
+        }
+        eprintln!("Chrome trace written to {path} (load in Perfetto or chrome://tracing)");
     }
     0
 }

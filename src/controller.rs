@@ -17,7 +17,9 @@ use pcs_core::{
 use pcs_monitor::SamplerConfig;
 use pcs_regression::TrainingConfig;
 use pcs_sim::profiler::profile_class;
-use pcs_sim::{MigrationRequest, SchedulerContext, SchedulerCost, SchedulerHook};
+use pcs_sim::{
+    AuditDecision, IntervalAudit, MigrationRequest, SchedulerContext, SchedulerCost, SchedulerHook,
+};
 use pcs_types::{ContentionVector, NodeCapacity, NodeId, PcsError, ResourceVector};
 use pcs_workloads::{BatchWorkload, JobSpec, ServiceTopology};
 
@@ -99,6 +101,17 @@ pub struct PcsController {
     last_up: Vec<bool>,
     /// Deterministic work counters surfaced via [`SchedulerHook::cost`].
     cost: SchedulerCost,
+    /// Whether each analysed interval builds an [`IntervalAudit`]
+    /// (predicted Eq. 4 gain per enacted decision). Turned on by the
+    /// observability layer via [`SchedulerHook::enable_audit`], or by the
+    /// `PCS_DEBUG_CONTROLLER` environment variable.
+    audit_enabled: bool,
+    /// When true (the `PCS_DEBUG_CONTROLLER` alias), every built audit is
+    /// also printed to stderr.
+    audit_print: bool,
+    /// The audit of the interval that just ran, awaiting collection via
+    /// [`SchedulerHook::take_interval_audit`].
+    pending_audit: Option<IntervalAudit>,
     /// Outcomes of every interval, newest last (diagnostics).
     history: Vec<ScheduleOutcome>,
 }
@@ -113,6 +126,7 @@ impl PcsController {
         // Validate the config eagerly (ComponentScheduler::new panics on
         // nonsense) even though the scheduler is rebuilt per interval.
         let _ = ComponentScheduler::new(scheduler_config);
+        let audit_print = std::env::var_os("PCS_DEBUG_CONTROLLER").is_some();
         PcsController {
             models,
             scheduler_config,
@@ -127,6 +141,9 @@ impl PcsController {
             last_versions: Vec::new(),
             last_up: Vec::new(),
             cost: SchedulerCost::default(),
+            audit_enabled: audit_print,
+            audit_print,
+            pending_audit: None,
             history: Vec::new(),
         }
     }
@@ -289,6 +306,43 @@ impl PcsController {
         }
     }
 
+    /// Builds (and, under `PCS_DEBUG_CONTROLLER`, prints) the interval's
+    /// decision audit from the enacted decisions: the predicted Eq. 4
+    /// overall latency at analysis time plus the predicted gain of every
+    /// migration actually ordered. The observer assigns the interval
+    /// index and fills the realised next-window delta at run end.
+    fn record_audit(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        predicted_overall: f64,
+        decisions: &[MigrationDecision],
+    ) {
+        if !self.audit_enabled {
+            return;
+        }
+        let audit = IntervalAudit {
+            at: ctx.now,
+            interval: 0,
+            predicted_overall,
+            decisions: decisions
+                .iter()
+                .filter(|d| !ctx.components[d.component.index()].migrating)
+                .map(|d| AuditDecision {
+                    component: d.component,
+                    from: d.from,
+                    to: d.to,
+                    predicted_gain: d.predicted_gain,
+                    predicted_self_gain: d.predicted_self_gain,
+                })
+                .collect(),
+            realized_delta: None,
+        };
+        if self.audit_print {
+            eprintln!("{audit}");
+        }
+        self.pending_audit = Some(audit);
+    }
+
     /// Evacuation pass: components stranded on dead nodes leave first,
     /// before the latency-optimising greedy. The greedy alone cannot
     /// be trusted with them — with two orphans in one parallel stage,
@@ -436,6 +490,7 @@ impl PcsController {
             .as_ref()
             .expect("carried matrix initialised above")
             .clone();
+        let predicted_overall = matrix.overall_latency();
         let mut config = self.scheduler_config;
         if let Some(policy) = self.threshold {
             config.epsilon_secs = policy.resolve(matrix.overall_latency());
@@ -476,6 +531,7 @@ impl PcsController {
                 to: d.to,
             })
             .collect();
+        self.record_audit(ctx, predicted_overall, &outcome.decisions);
         self.history.push(outcome);
         migrations
     }
@@ -501,22 +557,7 @@ impl SchedulerHook for PcsController {
         self.cost.matrix_builds += 1;
         self.cost.entries_recomputed += mk;
         self.cost.entries_total += mk;
-        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        if *DEBUG.get_or_init(|| std::env::var_os("PCS_DEBUG_CONTROLLER").is_some()) {
-            let candidates = vec![true; inputs.components.len()];
-            eprintln!(
-                "[ctl] t={:?} overall={:.6} best={:?} windows={:?}",
-                ctx.now,
-                matrix.overall_latency(),
-                matrix
-                    .best_candidate(&candidates)
-                    .map(|b| (b.component, b.destination, b.gain)),
-                ctx.sampled_windows
-                    .iter()
-                    .map(|w| w.len())
-                    .collect::<Vec<_>>(),
-            );
-        }
+        let predicted_overall = matrix.overall_latency();
         let mut config = self.scheduler_config;
         if let Some(policy) = self.threshold {
             config.epsilon_secs = policy.resolve(matrix.overall_latency());
@@ -541,12 +582,21 @@ impl SchedulerHook for PcsController {
                 to: d.to,
             })
             .collect();
+        self.record_audit(ctx, predicted_overall, &outcome.decisions);
         self.history.push(outcome);
         migrations
     }
 
     fn cost(&self) -> Option<SchedulerCost> {
         Some(self.cost)
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit_enabled = true;
+    }
+
+    fn take_interval_audit(&mut self) -> Option<IntervalAudit> {
+        self.pending_audit.take()
     }
 }
 

@@ -89,6 +89,11 @@ pub struct Fig6Config {
     pub threads: usize,
     /// Scale factor on the default 60 s horizon (1.0 = default).
     pub horizon_scale: f64,
+    /// Observability layer: retain this many slowest request timelines
+    /// per cell and attach tail attribution, time-series and scheduler
+    /// audits to each report. `None` (the default) leaves every report
+    /// byte-identical to the historical pins.
+    pub observe: Option<usize>,
 }
 
 impl Default for Fig6Config {
@@ -103,6 +108,7 @@ impl Default for Fig6Config {
                 .map(|n| n.get())
                 .unwrap_or(4),
             horizon_scale: 1.0,
+            observe: None,
         }
     }
 }
@@ -136,6 +142,7 @@ pub fn cell_config(config: &Fig6Config, rate: f64) -> SimConfig {
     );
     sim_config.horizon = sim_config.horizon.mul_f64(config.horizon_scale);
     sim_config.warmup = sim_config.warmup.mul_f64(config.horizon_scale);
+    sim_config.observe = config.observe.map(|top_k| pcs_sim::ObserveConfig { top_k });
     sim_config
 }
 
@@ -295,6 +302,7 @@ mod tests {
                 autoscale: Default::default(),
                 events_processed: 0,
                 scheduler_cost: None,
+                observe: None,
             },
             technique,
             rate: 100.0,

@@ -70,6 +70,7 @@ pub mod experiments;
 pub mod scenarios;
 pub mod tables;
 pub mod techniques;
+pub mod trace;
 
 pub use controller::PcsController;
 

@@ -273,6 +273,12 @@ impl Scenario for RebuildScenario {
         99
     }
 
+    // Wall-clock metrics (like fig7): the CLI rejects `--observe` here
+    // rather than let instrumentation perturb the timings.
+    fn observe_supported(&self) -> bool {
+        false
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let sizes: &[(usize, usize)] = if params.smoke {
             &[(40, 8)]

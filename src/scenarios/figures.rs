@@ -25,6 +25,12 @@ impl Scenario for Fig5Scenario {
         20151511
     }
 
+    // No simulated service runs here: an `--observe` that silently did
+    // nothing would poison provenance, so the CLI rejects it.
+    fn observe_supported(&self) -> bool {
+        false
+    }
+
     fn plan(&self, params: &SweepParams) -> SweepPlan {
         let config = fig5::Fig5Config {
             seed: params.seed,
@@ -239,6 +245,13 @@ impl Scenario for Fig7Scenario {
 
     fn default_seed(&self) -> u64 {
         72015
+    }
+
+    // Wall-clock metrics: the observability layer is zero-cost in
+    // simulated time but not in real time, so the CLI rejects the
+    // combination rather than let it perturb the measurement.
+    fn observe_supported(&self) -> bool {
+        false
     }
 
     fn plan(&self, params: &SweepParams) -> SweepPlan {

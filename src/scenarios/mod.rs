@@ -80,9 +80,11 @@ pub(crate) fn kv(name: &str, value: impl Into<Json>) -> (String, Json) {
     (name.to_string(), value.into())
 }
 
-/// The standard per-cell metrics of a simulation run.
+/// The standard per-cell metrics of a simulation run. Observe-on runs
+/// append the `observe` section (timelines, attribution, time-series,
+/// audits); observe-off metrics keep their historical bytes.
 pub(crate) fn report_metrics(report: &RunReport) -> Vec<(String, Json)> {
-    vec![
+    let mut metrics = vec![
         kv("p99_component_ms", report.component_p99_ms()),
         kv("mean_overall_ms", report.overall_mean_ms()),
         kv("requests_completed", report.stats.requests_completed),
@@ -90,7 +92,11 @@ pub(crate) fn report_metrics(report: &RunReport) -> Vec<(String, Json)> {
         kv("wasted_executions", report.stats.wasted_executions),
         kv("reissues", report.stats.reissues),
         kv("migrations", report.stats.migrations),
-    ]
+    ];
+    if let Some(obs) = &report.observe {
+        metrics.push(("observe".to_string(), crate::trace::observe_json(obs)));
+    }
+    metrics
 }
 
 /// The shared grid defaults for simulation-backed scenarios: CLI params
@@ -111,6 +117,7 @@ pub(crate) fn base_grid(params: &SweepParams, default_rates: &[f64]) -> Fig6Conf
     if let Some(rates) = &params.rates {
         cfg.rates = rates.clone();
     }
+    cfg.observe = params.observe;
     cfg
 }
 

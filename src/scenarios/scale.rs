@@ -340,6 +340,9 @@ impl Scenario for ScaleScenario {
             vec![ScaleTraffic::Diurnal, ScaleTraffic::Mmpp]
         };
         let smoke = params.smoke;
+        // The CLI rejects `--observe --shards` (the LP engine does not
+        // support the layer), so observe-on cells always run serial.
+        let observe = params.observe;
         // The class list is shared with the Nutch topology (both services
         // cycle the same component classes), so one profiling campaign
         // covers every cell.
@@ -399,6 +402,8 @@ impl Scenario for ScaleScenario {
                                         size, service, rate, trace_seed, smoke, shards,
                                     );
                                     sim_config.arrival_pattern = traffic.pattern();
+                                    sim_config.observe =
+                                        observe.map(|top_k| pcs_sim::ObserveConfig { top_k });
                                     let report = fig6::run_cell_with_epsilon(
                                         &sim_config,
                                         technique.as_ref(),

@@ -1,0 +1,397 @@
+//! Rendering of the observability layer's output: the `observe` JSON
+//! section of scenario reports and the Chrome trace-event export.
+//!
+//! [`observe_json`] turns a run's [`ObserveReport`] into the
+//! deterministic JSON object embedded in cell metrics (times in integer
+//! microseconds, the same units the simulator computes in, so the
+//! segments-sum invariant survives the serialisation bit-exactly).
+//! [`chrome_trace`] re-shapes a finished sweep report into the Chrome
+//! trace-event format — load the file in Perfetto or `chrome://tracing`
+//! to scrub through every retained request's critical path. One trace
+//! *process* per sweep cell, one *thread* per retained timeline (rank 0
+//! is the slowest request), one complete (`"X"`) event per segment.
+
+use pcs_harness::Json;
+use pcs_sim::{IntervalAudit, ObserveReport, RequestTimeline, SeriesRow, TailAttribution};
+
+fn kv(name: &str, value: impl Into<Json>) -> (String, Json) {
+    (name.to_string(), value.into())
+}
+
+fn attribution_json(a: &TailAttribution) -> Json {
+    let blame = a
+        .blame
+        .iter()
+        .map(|b| {
+            Json::object(vec![
+                kv("kind", b.kind.name()),
+                kv("component", u64::from(b.component.raw())),
+                kv("node", u64::from(b.node.raw())),
+                kv("tail_micros", b.tail_micros),
+                kv("median_micros", b.median_micros),
+                kv("tail_share", b.tail_share(a)),
+                kv("median_share", b.median_share(a)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        kv("tail_count", a.tail_count),
+        kv("median_count", a.median_count),
+        kv("tail_mean_ms", a.tail_mean_secs * 1e3),
+        kv("median_mean_ms", a.median_mean_secs * 1e3),
+        kv("tail_micros", a.tail_micros),
+        kv("median_micros", a.median_micros),
+        ("blame".to_string(), Json::Array(blame)),
+    ])
+}
+
+fn timeline_json(t: &RequestTimeline) -> Json {
+    let segments = t
+        .segments
+        .iter()
+        .map(|s| {
+            Json::object(vec![
+                kv("stage", u64::from(s.stage)),
+                kv("partition", u64::from(s.partition)),
+                kv("kind", s.kind.name()),
+                kv("flags", u64::from(s.flags)),
+                kv("component", u64::from(s.component.raw())),
+                kv("node", u64::from(s.node.raw())),
+                kv("start_us", s.start.as_micros()),
+                kv("end_us", s.end.as_micros()),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        kv("request", u64::from(t.id.raw())),
+        kv("arrived_us", t.arrived.as_micros()),
+        kv("completed_us", t.completed.as_micros()),
+        kv("total_us", t.total.as_micros()),
+        ("segments".to_string(), Json::Array(segments)),
+    ])
+}
+
+fn series_json(row: &SeriesRow) -> Json {
+    Json::object(vec![
+        kv("at_us", row.at.as_micros()),
+        (
+            "node_utilization".to_string(),
+            Json::Array(row.node_utilization.iter().map(|u| Json::Num(*u)).collect()),
+        ),
+        (
+            "node_queue_depth".to_string(),
+            Json::Array(
+                row.node_queue_depth
+                    .iter()
+                    .map(|q| Json::from(*q))
+                    .collect(),
+            ),
+        ),
+        kv("migrations", row.migrations),
+        kv("reissues", row.reissues),
+        kv("autoscale_actions", row.autoscale_actions),
+        kv("warming_nodes", row.warming_nodes),
+        kv("draining_nodes", row.draining_nodes),
+        kv("down_nodes", row.down_nodes),
+    ])
+}
+
+fn audit_json(a: &IntervalAudit) -> Json {
+    let decisions = a
+        .decisions
+        .iter()
+        .map(|d| {
+            Json::object(vec![
+                kv("component", u64::from(d.component.raw())),
+                kv("from", u64::from(d.from.raw())),
+                kv("to", u64::from(d.to.raw())),
+                kv("predicted_gain", d.predicted_gain),
+                kv("predicted_self_gain", d.predicted_self_gain),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        kv("at_us", a.at.as_micros()),
+        kv("interval", a.interval),
+        kv("predicted_overall", a.predicted_overall),
+        (
+            "realized_delta".to_string(),
+            a.realized_delta.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("decisions".to_string(), Json::Array(decisions)),
+    ])
+}
+
+/// The `observe` section of a cell's metrics: timelines, attribution,
+/// time-series and audits, all in deterministic integer-microsecond (or
+/// exact-count) units.
+pub fn observe_json(obs: &ObserveReport) -> Json {
+    Json::object(vec![
+        kv("requests_traced", obs.requests_traced),
+        (
+            "attribution".to_string(),
+            attribution_json(&obs.attribution),
+        ),
+        (
+            "timelines".to_string(),
+            Json::Array(obs.timelines.iter().map(timeline_json).collect()),
+        ),
+        (
+            "series".to_string(),
+            Json::Array(obs.series.iter().map(series_json).collect()),
+        ),
+        (
+            "audits".to_string(),
+            Json::Array(obs.audits.iter().map(audit_json).collect()),
+        ),
+    ])
+}
+
+/// Builds a Chrome trace-event JSON document from a finished sweep
+/// report (the [`pcs_harness::SweepOutcome::to_json`] shape): every
+/// observe-on cell becomes one trace process (pid = cell index, named
+/// after the cell label), every retained timeline one thread (tid =
+/// rank, 0 slowest), every critical-path segment one complete event
+/// whose `ts`/`dur` are the segment's microsecond bounds. Cells without
+/// an `observe` section contribute nothing; a sweep with none yields an
+/// empty `traceEvents` array.
+pub fn chrome_trace(report: &Json) -> Json {
+    let mut events = Vec::new();
+    let cells = report
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+    for (pid, cell) in cells.iter().enumerate() {
+        let Some(obs) = cell.get("metrics").and_then(|m| m.get("observe")) else {
+            continue;
+        };
+        let label = cell
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("cell")
+            .to_string();
+        events.push(metadata_event(
+            "process_name",
+            pid,
+            0,
+            vec![kv("name", label)],
+        ));
+        let timelines = obs
+            .get("timelines")
+            .and_then(Json::as_array)
+            .unwrap_or_default();
+        for (tid, timeline) in timelines.iter().enumerate() {
+            let request = timeline
+                .get("request")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let total_us = timeline
+                .get("total_us")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            events.push(metadata_event(
+                "thread_name",
+                pid,
+                tid,
+                vec![kv(
+                    "name",
+                    format!("r{} ({:.3} ms)", request as u64, total_us / 1e3),
+                )],
+            ));
+            let segments = timeline
+                .get("segments")
+                .and_then(Json::as_array)
+                .unwrap_or_default();
+            for seg in segments {
+                let field = |name: &str| seg.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+                let kind = seg.get("kind").and_then(Json::as_str).unwrap_or("segment");
+                events.push(Json::object(vec![
+                    kv("name", kind),
+                    kv("cat", "critical-path"),
+                    kv("ph", "X"),
+                    kv("ts", field("start_us")),
+                    kv("dur", field("end_us") - field("start_us")),
+                    kv("pid", pid),
+                    kv("tid", tid),
+                    (
+                        "args".to_string(),
+                        Json::object(vec![
+                            kv("request", request),
+                            kv("stage", field("stage")),
+                            kv("partition", field("partition")),
+                            kv("component", field("component")),
+                            kv("node", field("node")),
+                            kv("flags", field("flags")),
+                        ]),
+                    ),
+                ]));
+            }
+        }
+    }
+    Json::object(vec![("traceEvents".to_string(), Json::Array(events))])
+}
+
+fn metadata_event(name: &str, pid: usize, tid: usize, args: Vec<(String, Json)>) -> Json {
+    Json::object(vec![
+        kv("name", name),
+        kv("ph", "M"),
+        kv("pid", pid),
+        kv("tid", tid),
+        ("args".to_string(), Json::object(args)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_sim::{AuditDecision, BlameShare, RequestTimeline, Segment, SegmentKind, SeriesRow};
+    use pcs_types::{ComponentId, NodeId, RequestId, SimTime};
+
+    fn tiny_report() -> ObserveReport {
+        let seg = |kind, start, end| Segment {
+            stage: 1,
+            partition: 2,
+            kind,
+            flags: pcs_sim::observe::FLAG_FAULT,
+            component: ComponentId::new(3),
+            node: NodeId::new(4),
+            start: SimTime::from_micros(start),
+            end: SimTime::from_micros(end),
+        };
+        let attribution = TailAttribution {
+            tail_count: 1,
+            median_count: 1,
+            tail_mean_secs: 0.004,
+            median_mean_secs: 0.001,
+            tail_micros: 4_000,
+            median_micros: 1_000,
+            blame: vec![BlameShare {
+                kind: SegmentKind::Queue,
+                component: ComponentId::new(3),
+                node: NodeId::new(4),
+                tail_micros: 3_000,
+                median_micros: 500,
+            }],
+        };
+        ObserveReport {
+            requests_traced: 2,
+            timelines: vec![RequestTimeline {
+                id: RequestId::new(7),
+                arrived: SimTime::from_micros(100),
+                completed: SimTime::from_micros(4_100),
+                total: SimTime::from_micros(4_100) - SimTime::from_micros(100),
+                segments: vec![
+                    seg(SegmentKind::Queue, 100, 3_100),
+                    seg(SegmentKind::Service, 3_100, 4_100),
+                ],
+            }],
+            attribution,
+            series: vec![SeriesRow {
+                at: SimTime::from_secs(1),
+                node_utilization: vec![0.5, 0.25],
+                node_queue_depth: vec![3, 0],
+                migrations: 1,
+                reissues: 2,
+                autoscale_actions: 0,
+                warming_nodes: 0,
+                draining_nodes: 0,
+                down_nodes: 1,
+            }],
+            audits: vec![IntervalAudit {
+                at: SimTime::from_secs(1),
+                interval: 1,
+                predicted_overall: 0.0021,
+                decisions: vec![AuditDecision {
+                    component: ComponentId::new(3),
+                    from: NodeId::new(4),
+                    to: NodeId::new(0),
+                    predicted_gain: 0.0004,
+                    predicted_self_gain: 0.0005,
+                }],
+                realized_delta: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn observe_json_round_trips_and_keeps_micros_exact() {
+        let json = observe_json(&tiny_report());
+        let rendered = json.render();
+        let parsed = Json::parse(&rendered).expect("observe JSON parses");
+        assert_eq!(parsed.render(), rendered, "parse/render round-trip");
+        let timeline = &parsed.get("timelines").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            timeline.get("total_us").unwrap().as_f64(),
+            Some(4_000.0),
+            "microsecond totals survive exactly"
+        );
+        let segs = timeline.get("segments").unwrap().as_array().unwrap();
+        let sum: f64 = segs
+            .iter()
+            .map(|s| {
+                s.get("end_us").unwrap().as_f64().unwrap()
+                    - s.get("start_us").unwrap().as_f64().unwrap()
+            })
+            .sum();
+        assert_eq!(sum, 4_000.0, "segments still sum to the total in JSON");
+        let blame = &parsed
+            .get("attribution")
+            .unwrap()
+            .get("blame")
+            .unwrap()
+            .as_array()
+            .unwrap()[0];
+        assert_eq!(blame.get("kind").unwrap().as_str(), Some("queue"));
+        assert_eq!(blame.get("tail_share").unwrap().as_f64(), Some(0.75));
+        let audit = &parsed.get("audits").unwrap().as_array().unwrap()[0];
+        assert_eq!(audit.get("realized_delta"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn chrome_trace_emits_one_event_per_segment_plus_metadata() {
+        // A sweep report with one observe-on cell and one plain cell.
+        let report = Json::object(vec![(
+            "cells".to_string(),
+            Json::Array(vec![
+                Json::object(vec![
+                    ("label".to_string(), Json::from("PCS @ 80 req/s")),
+                    (
+                        "metrics".to_string(),
+                        Json::object(vec![("observe".to_string(), observe_json(&tiny_report()))]),
+                    ),
+                ]),
+                Json::object(vec![
+                    ("label".to_string(), Json::from("Basic @ 80 req/s")),
+                    ("metrics".to_string(), Json::object(vec![])),
+                ]),
+            ]),
+        )]);
+        let trace = chrome_trace(&report);
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process_name + 1 thread_name + 2 segments, observe-on cell only.
+        assert_eq!(events.len(), 4);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        assert_eq!(complete[0].get("name").unwrap().as_str(), Some("queue"));
+        assert_eq!(complete[0].get("ts").unwrap().as_f64(), Some(100.0));
+        assert_eq!(complete[0].get("dur").unwrap().as_f64(), Some(3_000.0));
+        let rendered = trace.render();
+        assert_eq!(
+            Json::parse(&rendered).expect("trace parses").render(),
+            rendered
+        );
+    }
+
+    #[test]
+    fn sweeps_without_observe_yield_an_empty_trace() {
+        let report = Json::object(vec![("cells".to_string(), Json::Array(vec![]))]);
+        let trace = chrome_trace(&report);
+        assert_eq!(
+            trace.get("traceEvents").unwrap().as_array().unwrap().len(),
+            0
+        );
+    }
+}

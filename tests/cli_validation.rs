@@ -237,6 +237,67 @@ fn shards_are_rejected_on_the_elastic_scenario() {
 }
 
 #[test]
+fn observe_companion_flags_require_observe() {
+    // --top-k and --trace-out configure the observability layer; without
+    // --observe they would silently do nothing, so the CLI refuses.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--top-k", "3"],
+        "--top-k requires --observe",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--trace-out", "/tmp/t.json"],
+        "--trace-out requires --observe",
+    );
+}
+
+#[test]
+fn zero_and_malformed_top_k_are_rejected() {
+    rejected_with(
+        &["run", "--scenario", "fig6", "--observe", "--top-k", "0"],
+        "at least 1",
+    );
+    rejected_with(
+        &["run", "--scenario", "fig6", "--observe", "--top-k", "lots"],
+        "--top-k",
+    );
+}
+
+#[test]
+fn observe_is_rejected_on_wall_clock_scenarios() {
+    // fig7 and ablation-rebuild report wall-clock timings; the layer is
+    // zero-cost in simulated time but not in real time, so observe-on
+    // runs would perturb exactly what they measure.
+    rejected_with(
+        &["run", "--scenario", "fig7", "--observe"],
+        "does not support the observability layer",
+    );
+    rejected_with(
+        &["run", "--scenario", "ablation-rebuild", "--observe"],
+        "does not support the observability layer",
+    );
+    // fig5 runs no simulated service at all.
+    rejected_with(
+        &["run", "--scenario", "fig5", "--observe"],
+        "does not support the observability layer",
+    );
+}
+
+#[test]
+fn observe_is_rejected_with_the_sharded_engine() {
+    // The LP engine rejects observe configs (cross-shard timelines are
+    // outside its v1 scope); the CLI refuses the combination up front.
+    rejected_with(
+        &["run", "--scenario", "scale", "--shards", "2", "--observe"],
+        "--observe cannot combine with --shards",
+    );
+    // Flag order must not matter.
+    rejected_with(
+        &["run", "--scenario", "scale", "--observe", "--shards", "2"],
+        "--observe cannot combine with --shards",
+    );
+}
+
+#[test]
 fn bench_knobs_are_validated() {
     rejected_with(&["bench", "--threads", "0"], "at least 1");
     rejected_with(&["bench", "--repeats", "0"], "at least 1");

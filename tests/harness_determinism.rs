@@ -178,6 +178,46 @@ fn elastic_smoke_report_bytes_are_pinned() {
     );
 }
 
+fn render_observed(name: &str, threads: usize, top_k: usize) -> String {
+    let scenario = scenarios::find(name).expect("scenario registered");
+    let params = SweepParams {
+        seed: scenario.default_seed(),
+        threads,
+        smoke: true,
+        observe: Some(top_k),
+        ..SweepParams::default()
+    };
+    let plan = scenario.plan(&params);
+    run_sweep(&plan, &params).to_json(name, &params).render()
+}
+
+/// The observability layer's determinism contract, both directions: an
+/// observe-on report is itself byte-reproducible across thread counts
+/// and pinned across PRs (the timelines, blame buckets, series rows and
+/// audits are all event-derived), while the observe-off pins above prove
+/// the layer's *absence* still produces the historical bytes. The two
+/// reports differ only by the `observe_override` provenance key and the
+/// per-cell `observe` metrics.
+#[test]
+fn observed_fig6_smoke_report_is_thread_invariant_and_pinned() {
+    let single = render_observed("fig6", 1, 3);
+    let parallel = render_observed("fig6", 3, 3);
+    assert_eq!(
+        single.as_bytes(),
+        parallel.as_bytes(),
+        "observed fig6 report must not depend on the thread count"
+    );
+    assert!(
+        single.contains("\"observe_override\":3") && single.contains("\"observe\":"),
+        "report must carry the observe provenance and metrics"
+    );
+    assert_eq!(
+        fnv1a(single.as_bytes()),
+        0xd195_527c_eb5e_8cd5,
+        "observed fig6 smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
 fn render_scale_with_shards(shards: usize, threads: usize) -> String {
     let scenario = scenarios::find("scale").expect("scenario registered");
     let params = SweepParams {
