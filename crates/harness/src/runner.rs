@@ -127,6 +127,21 @@ impl SweepOutcome {
         if let Some(top_k) = params.observe {
             report.push(("observe_override".into(), Json::from(top_k as u64)));
         }
+        // And for the imperfect-information knobs: each key appears only
+        // when its flag was given, so every other scenario's report keeps
+        // its historical bytes.
+        if let Some(latency) = params.detector_latency_secs {
+            report.push(("detector_latency_override".into(), Json::Num(latency)));
+        }
+        if let Some(fp) = params.fp_rate {
+            report.push(("fp_rate_override".into(), Json::Num(fp)));
+        }
+        if let Some(fnr) = params.fn_rate {
+            report.push(("fn_rate_override".into(), Json::Num(fnr)));
+        }
+        if let Some(noise) = params.noise {
+            report.push(("noise_override".into(), Json::Num(noise)));
+        }
         report.push(("cells".into(), Json::Array(cells)));
         report.push(("summary".into(), Json::Object(self.summary.clone())));
         Json::object(report)

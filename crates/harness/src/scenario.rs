@@ -59,6 +59,22 @@ pub struct SweepParams {
     /// engine does not support the layer) and scenarios whose metrics
     /// are wall-clock timings ([`Scenario::observe_supported`]).
     pub observe: Option<usize>,
+    /// Override of the failure detector's detection latency, in seconds,
+    /// where applicable (the `imperfect` scenario's level presets). The
+    /// CLI rejects negative and non-finite values.
+    pub detector_latency_secs: Option<f64>,
+    /// Override of the failure detector's false-positive rate, where
+    /// applicable (the `imperfect` scenario). The CLI rejects values
+    /// outside `[0, 1]`.
+    pub fp_rate: Option<f64>,
+    /// Override of the failure detector's false-negative rate, where
+    /// applicable (the `imperfect` scenario). The CLI rejects values
+    /// outside `[0, 1]`.
+    pub fn_rate: Option<f64>,
+    /// Override of the prediction-noise sigma applied to the PCS cells,
+    /// where applicable (the `imperfect` scenario). The CLI rejects
+    /// negative and non-finite values.
+    pub noise: Option<f64>,
 }
 
 impl Default for SweepParams {
@@ -78,6 +94,10 @@ impl Default for SweepParams {
             target_util: None,
             cooldown_secs: None,
             observe: None,
+            detector_latency_secs: None,
+            fp_rate: None,
+            fn_rate: None,
+            noise: None,
         }
     }
 }

@@ -24,6 +24,11 @@ pub struct NodeState {
     /// Monotonic counter of demand mutations (the validity token of
     /// per-component caches derived from this node's contention).
     demand_version: u64,
+    /// Service-time multiplier while the node is a straggler
+    /// (fault-injected [`crate::faults::FaultKind::Degrade`]); 1.0 when
+    /// healthy. Scales every service time drawn on the node without
+    /// touching liveness or contention.
+    slowdown: f64,
     /// Memoised [`NodeState::contention`], invalidated by every demand
     /// mutation. The contention vector is a pure function of (capacity,
     /// total demand), so serving it from cache between batch-churn and
@@ -41,6 +46,7 @@ impl NodeState {
             batch_demand: ResourceVector::ZERO,
             component_demand: ResourceVector::ZERO,
             demand_version: 0,
+            slowdown: 1.0,
             cached_contention: None,
         }
     }
@@ -68,6 +74,16 @@ impl NodeState {
     /// True unless the node is currently killed.
     pub fn is_alive(&self) -> bool {
         self.alive
+    }
+
+    /// Current service-time multiplier (1.0 when healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// True while the node is a straggler (slowdown above 1.0).
+    pub fn is_degraded(&self) -> bool {
+        self.slowdown > 1.0
     }
 }
 
@@ -181,7 +197,10 @@ impl Cluster {
     }
 
     /// Restores a killed node: it comes back empty and may serve again.
-    /// Returns `false` if the node was already alive (idempotent).
+    /// Returns `false` if the node was already alive (idempotent). A
+    /// slowdown set before the kill survives the restore — the gray node
+    /// rejoins gray until an explicit [`crate::faults::FaultKind::Recover`]
+    /// event.
     pub fn restore_node(&mut self, node: NodeId) -> bool {
         let n = &mut self.nodes[node.index()];
         if n.alive {
@@ -189,6 +208,51 @@ impl Cluster {
         }
         n.alive = true;
         true
+    }
+
+    /// Degrades a node: service times drawn on it are scaled by `factor`
+    /// until [`Cluster::recover_node`]. Re-degrading replaces the factor.
+    /// Returns `true` when the node was healthy before (newly gray).
+    ///
+    /// Bumps the demand version so contention-derived per-component mean
+    /// caches re-derive with the new slowdown; the contention vector
+    /// itself is unchanged, so the memoised contention stays valid.
+    ///
+    /// # Panics
+    /// Panics on a factor below 1.0 or a non-finite one.
+    pub fn degrade_node(&mut self, node: NodeId, factor: f64) -> bool {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and >= 1.0, got {factor}"
+        );
+        let n = &mut self.nodes[node.index()];
+        let was_healthy = n.slowdown == 1.0;
+        n.slowdown = factor;
+        n.demand_version += 1;
+        was_healthy
+    }
+
+    /// Clears a node's slowdown. Returns `false` if the node was not
+    /// degraded (idempotent).
+    pub fn recover_node(&mut self, node: NodeId) -> bool {
+        let n = &mut self.nodes[node.index()];
+        if n.slowdown == 1.0 {
+            return false;
+        }
+        n.slowdown = 1.0;
+        n.demand_version += 1;
+        true
+    }
+
+    /// Current service-time multiplier of one node (1.0 when healthy).
+    #[inline]
+    pub fn slowdown(&self, node: NodeId) -> f64 {
+        self.nodes[node.index()].slowdown
+    }
+
+    /// Number of currently degraded nodes.
+    pub fn degraded_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_degraded()).count()
     }
 
     /// Per-node liveness, densely indexed (for scheduler hooks).
@@ -355,6 +419,49 @@ mod tests {
         assert!(!c.restore_node(n0), "restoring a live node is a no-op");
         assert!(c.is_alive(n0));
         assert_eq!(c.statuses(), vec![NodeStatus::Up, NodeStatus::Up]);
+    }
+
+    #[test]
+    fn degrade_scales_and_recover_clears() {
+        let mut c = Cluster::new(2, NodeCapacity::XEON_E5645);
+        let n0 = NodeId::new(0);
+        assert_eq!(c.slowdown(n0), 1.0);
+        assert_eq!(c.degraded_count(), 0);
+
+        let v0 = c.demand_version(n0);
+        assert!(c.degrade_node(n0, 3.0), "first degrade finds it healthy");
+        assert_eq!(c.slowdown(n0), 3.0);
+        assert!(c.node(n0).is_degraded());
+        assert_eq!(c.degraded_count(), 1);
+        assert!(
+            c.demand_version(n0) > v0,
+            "degrade must invalidate mean caches"
+        );
+
+        // Re-degrading replaces the factor without claiming novelty.
+        assert!(!c.degrade_node(n0, 5.0));
+        assert_eq!(c.slowdown(n0), 5.0);
+        assert_eq!(c.degraded_count(), 1);
+
+        assert!(c.recover_node(n0), "recover clears the slowdown");
+        assert!(!c.recover_node(n0), "recovering a healthy node is a no-op");
+        assert_eq!(c.slowdown(n0), 1.0);
+        assert_eq!(c.degraded_count(), 0);
+
+        // Liveness and slowdown are independent axes: a kill preserves
+        // the slowdown, so a restored node rejoins gray.
+        c.degrade_node(n0, 2.0);
+        c.kill_node(n0);
+        assert_eq!(c.slowdown(n0), 2.0);
+        c.restore_node(n0);
+        assert!(c.node(n0).is_degraded());
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be finite")]
+    fn degrade_rejects_speedups() {
+        let mut c = Cluster::new(1, NodeCapacity::XEON_E5645);
+        c.degrade_node(NodeId::new(0), 0.9);
     }
 
     #[test]

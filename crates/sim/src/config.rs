@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use crate::autoscale::AutoscaleConfig;
-use crate::faults::{FailoverPolicy, FaultPlan};
+use crate::faults::{FailoverPolicy, FailureDetector, FaultPlan};
 use crate::observe::ObserveConfig;
 use pcs_monitor::SamplerConfig;
 use pcs_types::{NodeCapacity, SimDuration};
@@ -114,6 +114,16 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// What happens to a killed node's disrupted sub-requests.
     pub failover: FailoverPolicy,
+    /// Noisy failure detection between ground-truth liveness and the
+    /// [`NodeStatus`](crate::faults::NodeStatus) view scheduler hooks
+    /// receive ([`crate::faults::FailureDetector`]). `None` — the default
+    /// everywhere — keeps today's exact-liveness bytes; a configured
+    /// detector distorts only hook perception (its own seeded RNG lane),
+    /// never the world's dispatch or migration legality. Mutually
+    /// exclusive with autoscaling (the autoscaler already owns the
+    /// warming/draining status channel) and unsupported by the LP engine
+    /// in v1.
+    pub detector: Option<FailureDetector>,
     /// Elastic capacity: the autoscaler's knobs ([`crate::autoscale`]).
     /// `None` — the default everywhere — disables the subsystem and
     /// leaves the run bit-for-bit identical to a build without it.
@@ -175,6 +185,7 @@ impl SimConfig {
             service_window: 256,
             faults: FaultPlan::none(),
             failover: FailoverPolicy::default(),
+            detector: None,
             autoscale: None,
             shards: 0,
             observe: None,
@@ -268,6 +279,14 @@ impl SimConfig {
         );
         assert!(self.service_window > 0, "service window needs capacity");
         self.faults.validate(self.node_count);
+        if let Some(det) = &self.detector {
+            det.validate();
+            assert!(
+                self.autoscale.is_none(),
+                "a failure detector and autoscaling are mutually exclusive: \
+                 the autoscaler already owns the warming/draining status channel"
+            );
+        }
         if let Some(ac) = &self.autoscale {
             ac.validate(self.node_count);
             assert!(
@@ -490,6 +509,48 @@ mod tests {
             ac.max_nodes = 2;
         }
         cfg.deployment = DeploymentConfig { replication: 3 };
+        cfg.validate();
+    }
+
+    #[test]
+    fn detector_config_validates_with_and_without_faults() {
+        use crate::faults::FailureDetector;
+        use pcs_types::SimTime;
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.node_count = 6;
+        cfg.detector = Some(FailureDetector {
+            detection_latency: SimDuration::from_secs(2),
+            false_positive_rate: 0.05,
+            false_negative_rate: 0.05,
+        });
+        // A detector without faults is legal: pure false positives.
+        cfg.validate();
+        cfg.faults =
+            FaultPlan::kill_restore(6, 9, SimTime::from_secs(20), SimDuration::from_secs(5));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "false-negative rate must be in [0, 1]")]
+    fn detector_bad_rate_rejected() {
+        use crate::faults::FailureDetector;
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(4), 100.0, 1);
+        cfg.detector = Some(FailureDetector {
+            detection_latency: SimDuration::ZERO,
+            false_positive_rate: 0.0,
+            false_negative_rate: -0.1,
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "detector and autoscaling are mutually exclusive")]
+    fn detector_with_autoscale_rejected() {
+        use crate::faults::FailureDetector;
+        let mut cfg = SimConfig::paper_like(ServiceTopology::nutch(8), 100.0, 1);
+        cfg.node_count = 12;
+        elastic(&mut cfg);
+        cfg.detector = Some(FailureDetector::perfect());
         cfg.validate();
     }
 

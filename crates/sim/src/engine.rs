@@ -9,7 +9,9 @@ use crate::faults::FaultKind;
 use pcs_types::{ComponentId, JobId, NodeId, RequestId, SimTime};
 
 /// Everything that can happen in the simulated world.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Eq`: [`FaultKind::Degrade`] carries its `f64` slowdown factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// A new user request enters the service (and the next arrival is
     /// scheduled).
@@ -94,7 +96,7 @@ pub enum Event {
 /// alignment: a stored `u128` would pad the entry from 40 to 48 bytes).
 /// The packing is order-preserving, so the total order (and therefore
 /// every pop sequence) is exactly the old tuple order.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 struct Entry {
     time_us: u64,
     seq: u64,

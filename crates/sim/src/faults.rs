@@ -20,7 +20,7 @@
 use pcs_types::{NodeId, SimDuration, SimTime};
 
 /// What a fault event does to its node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// The node stops abruptly: resident batch jobs vanish, queued and
     /// in-service sub-requests are failed over or dropped (per
@@ -31,10 +31,33 @@ pub enum FaultKind {
     /// serve and host again. Components still stranded on it resume in
     /// place.
     Restore,
+    /// The node turns gray: it keeps accepting and serving work, but
+    /// every service time drawn on it is multiplied by `factor` until a
+    /// [`FaultKind::Recover`] event. Liveness is untouched — hooks see
+    /// the node as `Up` and must infer the straggler from its latency.
+    /// `factor = 1.0` is a provable no-op (IEEE multiplication by 1.0 is
+    /// exact), so degrade plans reduce bit-for-bit to clean runs.
+    Degrade {
+        /// Service-time multiplier, `>= 1.0` and finite. Re-degrading an
+        /// already-gray node replaces its factor.
+        factor: f64,
+    },
+    /// The node sheds its slowdown and serves at full speed again. A
+    /// no-op on a node that is not degraded.
+    Recover,
+}
+
+impl FaultKind {
+    /// True for the liveness-changing kinds ([`FaultKind::Kill`] /
+    /// [`FaultKind::Restore`]); degrade and recover leave membership
+    /// untouched.
+    pub fn changes_liveness(self) -> bool {
+        matches!(self, FaultKind::Kill | FaultKind::Restore)
+    }
 }
 
 /// One scheduled membership change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
     /// When the fault strikes (absolute simulation time).
     pub at: SimTime,
@@ -62,7 +85,7 @@ pub enum FailoverPolicy {
 ///
 /// The empty plan is the default everywhere and leaves the simulation
 /// bit-for-bit identical to a fault-free build — fault support is opt-in.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Events sorted by time (stable: equal times keep insertion order).
     events: Vec<FaultEvent>,
@@ -72,6 +95,12 @@ pub struct FaultPlan {
 const SALT_VICTIM: u64 = 0x5eed_0001;
 /// Salt for the rack-start draw.
 const SALT_RACK: u64 = 0x5eed_0002;
+/// Salt for the straggler victim draw.
+const SALT_STRAGGLER: u64 = 0x5eed_0003;
+/// Salt for the gray-rack start draw.
+const SALT_GRAY_RACK: u64 = 0x5eed_0004;
+/// Salt of the failure detector's dedicated RNG lane (`world.rs`).
+pub(crate) const SALT_DETECTOR: u64 = 0x5eed_0005;
 
 impl FaultPlan {
     /// The empty plan: no faults, simulation behaviour unchanged.
@@ -105,7 +134,8 @@ impl FaultPlan {
     /// Checks the plan against a cluster size.
     ///
     /// # Panics
-    /// Panics if any event names a node outside `0..node_count`.
+    /// Panics if any event names a node outside `0..node_count`, or if a
+    /// degrade event carries a factor below 1.0 or a non-finite one.
     pub fn validate(&self, node_count: usize) {
         for e in &self.events {
             assert!(
@@ -113,6 +143,12 @@ impl FaultPlan {
                 "fault plan names node {} but the cluster has {node_count} nodes",
                 e.node
             );
+            if let FaultKind::Degrade { factor } = e.kind {
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "degrade factor must be finite and >= 1.0, got {factor}"
+                );
+            }
         }
         debug_assert!(
             self.events.windows(2).all(|w| w[0].at <= w[1].at),
@@ -129,7 +165,7 @@ impl FaultPlan {
             if e.at > SimTime::ZERO {
                 break;
             }
-            if e.node.index() < node_count {
+            if e.node.index() < node_count && e.kind.changes_liveness() {
                 alive[e.node.index()] = e.kind == FaultKind::Restore;
             }
         }
@@ -262,6 +298,90 @@ impl FaultPlan {
         }
         FaultPlan::new(events)
     }
+
+    /// Straggler: a single victim drawn from the first `victim_pool`
+    /// nodes turns gray at `degrade_at` — service times scaled by
+    /// `factor` — and recovers `duration` later. The node never leaves
+    /// the membership, so only latency betrays it.
+    ///
+    /// # Panics
+    /// Panics on an empty victim pool, a factor below 1.0 (or
+    /// non-finite), or a zero duration.
+    pub fn slow_node(
+        victim_pool: usize,
+        seed: u64,
+        degrade_at: SimTime,
+        duration: SimDuration,
+        factor: f64,
+    ) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and >= 1.0, got {factor}"
+        );
+        assert!(!duration.is_zero(), "straggler duration must be non-zero");
+        let victim = draw_node(seed, SALT_STRAGGLER, victim_pool);
+        FaultPlan::new(vec![
+            FaultEvent {
+                at: degrade_at,
+                node: victim,
+                kind: FaultKind::Degrade { factor },
+            },
+            FaultEvent {
+                at: degrade_at + duration,
+                node: victim,
+                kind: FaultKind::Recover,
+            },
+        ])
+    }
+
+    /// Gray rack: `rack_size` contiguous nodes (start drawn from the
+    /// seed) degrade in quick succession, `stagger` apart — a flaky
+    /// top-of-rack switch dropping frames rather than dying. The whole
+    /// rack recovers `duration` after the *first* degrade.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rack_size <= node_count`, the factor is finite
+    /// and `>= 1.0`, and `duration` outlasts the staggered degrades.
+    pub fn gray_rack(
+        node_count: usize,
+        rack_size: usize,
+        seed: u64,
+        degrade_at: SimTime,
+        stagger: SimDuration,
+        duration: SimDuration,
+        factor: f64,
+    ) -> Self {
+        assert!(
+            rack_size > 0 && rack_size <= node_count,
+            "rack size must be in 1..={node_count}, got {rack_size}"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and >= 1.0, got {factor}"
+        );
+        assert!(
+            duration > stagger.mul_f64((rack_size - 1) as f64),
+            "gray-rack duration must outlast the staggered degrades \
+             (last degrade lands {rack_size}-1 staggers after the first)"
+        );
+        let start = draw_node(seed, SALT_GRAY_RACK, node_count - rack_size + 1).index();
+        let mut events = Vec::with_capacity(rack_size * 2);
+        for i in 0..rack_size {
+            events.push(FaultEvent {
+                at: degrade_at + stagger.mul_f64(i as f64),
+                node: NodeId::from_index(start + i),
+                kind: FaultKind::Degrade { factor },
+            });
+        }
+        for i in 0..rack_size {
+            events.push(FaultEvent {
+                at: degrade_at + duration,
+                node: NodeId::from_index(start + i),
+                kind: FaultKind::Recover,
+            });
+        }
+        FaultPlan::new(events)
+    }
 }
 
 /// Seeded node draw shared by the generators.
@@ -298,6 +418,72 @@ impl NodeStatus {
     #[inline]
     pub fn is_up(self) -> bool {
         self == NodeStatus::Up
+    }
+}
+
+/// A noisy membership oracle between the world's ground-truth liveness
+/// and the [`NodeStatus`] view scheduler hooks receive.
+///
+/// Real failure detectors are neither instant nor exact: they learn of a
+/// membership change after a heartbeat timeout, occasionally suspect a
+/// healthy node (false positive), and occasionally keep trusting a dead
+/// one (false negative). With a detector configured
+/// (`SimConfig::detector`), every scheduler-context assembly filters the
+/// ground truth through this model on a dedicated seeded RNG lane — the
+/// main event stream draws nothing, so the *workload trajectory* only
+/// changes when a hook acts on the distorted view. `None` (the default)
+/// and [`FailureDetector::perfect`] both preserve today's exact-liveness
+/// bytes.
+///
+/// The distortion applies to hook perception only: the world still
+/// dispatches, fails over, and validates migrations against ground
+/// truth. A false positive can goad PCS into evacuating a healthy node
+/// (wasted migrations); a false negative leaves orphans unrescued while
+/// the controller keeps planning around a corpse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureDetector {
+    /// How long after a kill or restore the detector keeps reporting the
+    /// previous liveness (heartbeat timeout).
+    pub detection_latency: SimDuration,
+    /// Per-(tick, node) probability of reporting a live node as down.
+    pub false_positive_rate: f64,
+    /// Per-(tick, node) probability of reporting a dead node as up.
+    pub false_negative_rate: f64,
+}
+
+impl FailureDetector {
+    /// The exact detector: zero latency, zero error rates. Provably
+    /// byte-identical to running with no detector at all.
+    pub fn perfect() -> Self {
+        FailureDetector {
+            detection_latency: SimDuration::ZERO,
+            false_positive_rate: 0.0,
+            false_negative_rate: 0.0,
+        }
+    }
+
+    /// True when the detector cannot distort anything.
+    pub fn is_perfect(&self) -> bool {
+        self.detection_latency.is_zero()
+            && self.false_positive_rate == 0.0
+            && self.false_negative_rate == 0.0
+    }
+
+    /// Checks rates and latency.
+    ///
+    /// # Panics
+    /// Panics if either rate is outside `[0, 1]` or non-finite.
+    pub fn validate(&self) {
+        assert!(
+            self.false_positive_rate.is_finite() && (0.0..=1.0).contains(&self.false_positive_rate),
+            "false-positive rate must be in [0, 1], got {}",
+            self.false_positive_rate
+        );
+        assert!(
+            self.false_negative_rate.is_finite() && (0.0..=1.0).contains(&self.false_negative_rate),
+            "false-negative rate must be in [0, 1], got {}",
+            self.false_negative_rate
+        );
     }
 }
 
@@ -481,6 +667,147 @@ mod tests {
         ]);
         assert_eq!(plan.initial_alive(4), vec![true, false, true, true]);
         assert_eq!(FaultPlan::none().initial_alive(2), vec![true, true]);
+    }
+
+    #[test]
+    fn initial_alive_ignores_degrade_and_recover() {
+        // A time-zero degrade leaves the node in the membership: only
+        // kill/restore move the liveness mask.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimTime::ZERO,
+                node: NodeId::new(0),
+                kind: FaultKind::Degrade { factor: 3.0 },
+            },
+            FaultEvent {
+                at: SimTime::ZERO,
+                node: NodeId::new(1),
+                kind: FaultKind::Kill,
+            },
+            FaultEvent {
+                at: SimTime::ZERO,
+                node: NodeId::new(1),
+                kind: FaultKind::Recover,
+            },
+        ]);
+        assert_eq!(plan.initial_alive(3), vec![true, false, true]);
+        assert!(!FaultKind::Degrade { factor: 3.0 }.changes_liveness());
+        assert!(!FaultKind::Recover.changes_liveness());
+        assert!(FaultKind::Kill.changes_liveness());
+    }
+
+    #[test]
+    fn slow_node_brackets_the_gray_window() {
+        let plan = FaultPlan::slow_node(
+            6,
+            42,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            2.5,
+        );
+        plan.validate(6);
+        assert_eq!(plan.len(), 2);
+        let (degrade, recover) = (plan.events()[0], plan.events()[1]);
+        assert_eq!(degrade.kind, FaultKind::Degrade { factor: 2.5 });
+        assert_eq!(recover.kind, FaultKind::Recover);
+        assert_eq!(degrade.node, recover.node);
+        assert_eq!(recover.at, SimTime::from_secs(15));
+        // Reproducible and seed-sensitive, like the kill generators.
+        assert_eq!(
+            plan,
+            FaultPlan::slow_node(
+                6,
+                42,
+                SimTime::from_secs(5),
+                SimDuration::from_secs(10),
+                2.5
+            )
+        );
+        assert!((0..32u64).any(|s| {
+            FaultPlan::slow_node(6, s, SimTime::from_secs(5), SimDuration::from_secs(10), 2.5)
+                .events()[0]
+                .node
+                != degrade.node
+        }));
+    }
+
+    #[test]
+    fn gray_rack_degrades_contiguous_nodes_and_recovers_together() {
+        let plan = FaultPlan::gray_rack(
+            8,
+            3,
+            11,
+            SimTime::from_secs(4),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(6),
+            4.0,
+        );
+        plan.validate(8);
+        let degrades: Vec<&FaultEvent> = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Degrade { .. }))
+            .collect();
+        assert_eq!(degrades.len(), 3);
+        assert_eq!(degrades[1].node.index(), degrades[0].node.index() + 1);
+        assert_eq!(degrades[2].node.index(), degrades[0].node.index() + 2);
+        let recovers: Vec<&FaultEvent> = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::Recover)
+            .collect();
+        assert_eq!(recovers.len(), 3);
+        assert!(recovers.iter().all(|e| e.at == SimTime::from_secs(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be finite")]
+    fn sub_unit_degrade_factor_is_rejected() {
+        let _ = FaultPlan::slow_node(4, 1, SimTime::from_secs(1), SimDuration::from_secs(1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be finite")]
+    fn non_finite_degrade_factor_is_rejected_by_validate() {
+        FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            node: NodeId::new(0),
+            kind: FaultKind::Degrade {
+                factor: f64::INFINITY,
+            },
+        }])
+        .validate(2);
+    }
+
+    #[test]
+    fn detector_validation_and_perfection() {
+        let perfect = FailureDetector::perfect();
+        perfect.validate();
+        assert!(perfect.is_perfect());
+        let lossy = FailureDetector {
+            detection_latency: SimDuration::from_secs(2),
+            false_positive_rate: 0.05,
+            false_negative_rate: 0.1,
+        };
+        lossy.validate();
+        assert!(!lossy.is_perfect());
+        // Latency alone already makes a detector imperfect.
+        assert!(!FailureDetector {
+            detection_latency: SimDuration::from_millis(1),
+            ..FailureDetector::perfect()
+        }
+        .is_perfect());
+    }
+
+    #[test]
+    #[should_panic(expected = "false-positive rate must be in [0, 1]")]
+    fn detector_rejects_out_of_range_rates() {
+        FailureDetector {
+            detection_latency: SimDuration::ZERO,
+            false_positive_rate: 1.5,
+            false_negative_rate: 0.0,
+        }
+        .validate();
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod world;
 pub use autoscale::{AutoscaleConfig, AutoscalePolicy, AutoscaleReport, AutoscaleStats};
 pub use config::{DeploymentConfig, PlacementStrategy, SimConfig};
 pub use engine::{Event, EventQueue};
-pub use faults::{FailoverPolicy, FaultEvent, FaultKind, FaultPlan, NodeStatus};
+pub use faults::{FailoverPolicy, FailureDetector, FaultEvent, FaultKind, FaultPlan, NodeStatus};
 pub use ground_truth::GroundTruth;
 pub use lp::{LpExecutor, LpSimulation, HOP_US};
 pub use metrics::{FaultReport, FaultStats, RunReport, TechniqueStats};

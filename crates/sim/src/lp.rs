@@ -596,6 +596,12 @@ impl LpSimulation {
              (cross-shard timelines are outside the v1 LP scope, like fault \
              plans); run with shards = 0"
         );
+        assert!(
+            config.detector.is_none(),
+            "the LP engine does not support noisy failure detection \
+             (suspected liveness is outside the v1 LP scope, like fault \
+             plans); run with shards = 0"
+        );
 
         let cluster = match &config.node_capacities {
             Some(caps) => Cluster::heterogeneous(caps.clone()),
@@ -1246,6 +1252,14 @@ mod tests {
     fn observed_configs_are_rejected() {
         let mut config = tiny_config(2);
         config.observe = Some(crate::observe::ObserveConfig::default());
+        let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support noisy failure detection")]
+    fn detector_configs_are_rejected() {
+        let mut config = tiny_config(2);
+        config.detector = Some(crate::faults::FailureDetector::perfect());
         let _ = LpSimulation::new(config, Box::new(BasicPolicy), Box::new(NoopScheduler));
     }
 }

@@ -64,6 +64,11 @@ pub struct FaultStats {
     pub requests_lost: u64,
     /// Disrupted sub-requests re-dispatched to a surviving replica.
     pub failed_over: u64,
+    /// Effective degrade events (a node turning gray or changing its
+    /// slowdown factor; [`crate::faults::FaultKind::Degrade`]).
+    pub degrades: u64,
+    /// Effective recoveries (idempotent duplicates excluded).
+    pub recovers: u64,
 }
 
 /// Fault-injection measurements of one run: the mechanism counters, the
@@ -88,6 +93,11 @@ pub struct FaultReport {
     pub during_fault: LatencySummary,
     /// Component latency after every killed node was restored.
     pub post_fault: LatencySummary,
+    /// Component latency of completions while at least one node was
+    /// degraded (the straggler window; empty on plans without degrade
+    /// events). Orthogonal to the pre/during/post split — a completion
+    /// lands in both its kill phase and, if a straggler was active, here.
+    pub degraded: LatencySummary,
 }
 
 impl Default for FaultReport {
@@ -100,6 +110,7 @@ impl Default for FaultReport {
             pre_fault: LatencySummary::EMPTY,
             during_fault: LatencySummary::EMPTY,
             post_fault: LatencySummary::EMPTY,
+            degraded: LatencySummary::EMPTY,
         }
     }
 }
@@ -187,6 +198,9 @@ pub(crate) struct Collectors {
     pub fault_stats: FaultStats,
     /// Component latency split by fault phase (pre/during/post).
     pub phase_latency: [LatencyRecorder; 3],
+    /// Component latency while at least one node was degraded (the
+    /// straggler window; reset at warm-up end like the phase windows).
+    pub degraded_latency: LatencyRecorder,
     /// Kill→re-placement latency accumulators (seconds).
     pub evac_sum: f64,
     pub evac_max: f64,
@@ -216,6 +230,7 @@ impl Collectors {
         self.overall_latency = LatencyRecorder::with_capacity(self.sample_hint.1);
         self.stats = TechniqueStats::default();
         self.phase_latency = Default::default();
+        self.degraded_latency = LatencyRecorder::new();
     }
 
     /// Records one resolved orphan's kill→re-placement latency.
@@ -240,6 +255,7 @@ impl Collectors {
             pre_fault: self.phase_latency[FaultPhase::Pre as usize].summary(),
             during_fault: self.phase_latency[FaultPhase::During as usize].summary(),
             post_fault: self.phase_latency[FaultPhase::Post as usize].summary(),
+            degraded: self.degraded_latency.summary(),
         }
     }
 }
@@ -281,10 +297,17 @@ mod tests {
         c.fault_stats.orphaned = 1;
         c.record_evacuation(SimDuration::from_secs(1));
         c.phase_latency[1].record_secs(0.5);
+        c.degraded_latency.record_secs(0.7);
+        c.fault_stats.degrades = 2;
         c.reset_for_measurement();
         assert!(c.component_latency.is_empty());
         assert_eq!(c.stats.executions, 0);
         assert!(c.phase_latency[1].is_empty());
+        assert!(
+            c.degraded_latency.is_empty(),
+            "the straggler window resets with the other latency windows"
+        );
+        assert_eq!(c.fault_stats.degrades, 2, "degrade counters span the run");
         // Fault accounting spans the whole run: a warm-up kill keeps its
         // kill/orphan counters so they stay consistent with the world's
         // orphan state (and the evacuation record survives with them).

@@ -101,6 +101,11 @@ pub const FLAG_FAULT: u8 = 1;
 pub const FLAG_WARMING: u8 = 1 << 1;
 /// Segment flag: at least one elastic node was draining.
 pub const FLAG_DRAINING: u8 = 1 << 2;
+/// Segment flag: at least one node was degraded (a straggler whose
+/// service times are scaled up) when the segment was recorded. Without
+/// this flag, gray-node slowness would be indistinguishable from
+/// ordinary queueing in the blame breakdown.
+pub const FLAG_DEGRADED: u8 = 1 << 3;
 
 /// One critical-path segment of a request timeline. Segments of a stage
 /// are contiguous; across stages they telescope from arrival to
@@ -116,7 +121,8 @@ pub struct Segment {
     /// What the time was spent on.
     pub kind: SegmentKind,
     /// Cluster-condition annotations ([`FLAG_FAULT`], [`FLAG_WARMING`],
-    /// [`FLAG_DRAINING`]) in effect when the segment was recorded.
+    /// [`FLAG_DRAINING`], [`FLAG_DEGRADED`]) in effect when the segment
+    /// was recorded.
     pub flags: u8,
     /// The component that served (or queued) the critical sub-request.
     pub component: ComponentId,
@@ -176,6 +182,12 @@ pub struct SeriesRow {
     pub draining_nodes: u64,
     /// Nodes down (killed, not yet restored) at the boundary.
     pub down_nodes: u64,
+    /// Nodes degraded (stragglers, slowdown factor > 1) at the boundary.
+    pub degraded_nodes: u64,
+    /// Nodes the failure detector reported as down at the most recent
+    /// scheduler tick (suspected, which may disagree with ground truth).
+    /// Zero when no detector is configured.
+    pub suspected_nodes: u64,
 }
 
 /// One enacted migration decision with its predicted Eq. 4 gains.
@@ -361,6 +373,10 @@ pub(crate) struct WindowSample {
     pub warming_nodes: u64,
     pub draining_nodes: u64,
     pub down_nodes: u64,
+    /// Degraded (straggler) nodes at the boundary (gauge).
+    pub degraded_nodes: u64,
+    /// Detector-suspected-down nodes at the last scheduler tick (gauge).
+    pub suspected_nodes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -418,6 +434,15 @@ impl Observer {
             self.flags |= FLAG_FAULT;
         } else {
             self.flags &= !FLAG_FAULT;
+        }
+    }
+
+    /// Updates the straggler annotation flag (called on degrade/recover).
+    pub(crate) fn set_degraded(&mut self, any_node_degraded: bool) {
+        if any_node_degraded {
+            self.flags |= FLAG_DEGRADED;
+        } else {
+            self.flags &= !FLAG_DEGRADED;
         }
     }
 
@@ -544,6 +569,8 @@ impl Observer {
             warming_nodes: s.warming_nodes,
             draining_nodes: s.draining_nodes,
             down_nodes: s.down_nodes,
+            degraded_nodes: s.degraded_nodes,
+            suspected_nodes: s.suspected_nodes,
         };
         self.last_migrations = s.migrations;
         self.last_reissues = s.reissues;
@@ -923,6 +950,8 @@ mod tests {
             warming_nodes: 0,
             draining_nodes: 0,
             down_nodes: 0,
+            degraded_nodes: 0,
+            suspected_nodes: 0,
         };
         obs.record_window(sample(us(1_000), 4, 10));
         // Warm-up end reset the measured-window counters to zero.
@@ -999,6 +1028,7 @@ mod tests {
         let mut obs = Observer::new(&ObserveConfig::default());
         obs.set_fault_active(true);
         obs.set_health(1, 0);
+        obs.set_degraded(true);
         obs.record_stage(chain(0, 0));
         obs.complete_request(
             RequestId::new(0),
@@ -1012,6 +1042,50 @@ mod tests {
         assert_eq!(flags & FLAG_FAULT, FLAG_FAULT);
         assert_eq!(flags & FLAG_WARMING, FLAG_WARMING);
         assert_eq!(flags & FLAG_DRAINING, 0);
+        assert_eq!(flags & FLAG_DEGRADED, FLAG_DEGRADED);
+    }
+
+    #[test]
+    fn degraded_flag_clears_on_recovery() {
+        let mut obs = Observer::new(&ObserveConfig::default());
+        obs.set_degraded(true);
+        obs.set_degraded(false);
+        obs.record_stage(chain(0, 0));
+        obs.complete_request(
+            RequestId::new(0),
+            us(100),
+            us(400),
+            SimDuration::from_micros(300),
+            false,
+        );
+        let report = obs.finalize();
+        assert_eq!(report.timelines[0].segments[0].flags & FLAG_DEGRADED, 0);
+    }
+
+    #[test]
+    fn degraded_and_suspected_gauges_are_copied_not_deltaed() {
+        let mut obs = Observer::new(&ObserveConfig::default());
+        let sample = |at, degraded, suspected| WindowSample {
+            at,
+            node_utilization: vec![0.5],
+            node_queue_depth: vec![2],
+            migrations: 0,
+            reissues: 0,
+            autoscale_actions: 0,
+            warming_nodes: 0,
+            draining_nodes: 0,
+            down_nodes: 0,
+            degraded_nodes: degraded,
+            suspected_nodes: suspected,
+        };
+        obs.record_window(sample(us(1_000), 3, 1));
+        obs.record_window(sample(us(2_000), 3, 0));
+        obs.record_window(sample(us(3_000), 0, 2));
+        let report = obs.finalize();
+        let d: Vec<u64> = report.series.iter().map(|r| r.degraded_nodes).collect();
+        assert_eq!(d, vec![3, 3, 0]);
+        let s: Vec<u64> = report.series.iter().map(|r| r.suspected_nodes).collect();
+        assert_eq!(s, vec![1, 0, 2]);
     }
 
     #[test]

@@ -151,6 +151,13 @@ pub struct SchedulerContext<'a> {
     /// components evacuated) — and should evacuate components stranded
     /// on a `Down` or `Draining` one; the world rejects orders
     /// targeting non-`Up` nodes regardless.
+    ///
+    /// When [`crate::SimConfig::detector`] is set, this is the noisy
+    /// failure detector's *suspected* liveness, not ground truth: a dead
+    /// node may still read `Up` (detection latency, false negatives) and
+    /// a healthy one `Down` (false positives). Dispatch, failover and
+    /// migration legality always use ground truth — only the hook's
+    /// perception is distorted.
     pub node_status: &'a [NodeStatus],
     /// Per component: the other members of its replica groups (empty
     /// under replication 1). A migration that would co-locate a

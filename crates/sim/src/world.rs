@@ -112,6 +112,25 @@ pub struct Simulation {
     down_nodes: usize,
     /// Whether any kill has struck yet (fault-phase classification).
     kills_seen: bool,
+    /// Number of currently degraded (straggling) nodes — 0 on plans
+    /// without degrade events, so the clean paths never branch on it.
+    degraded_nodes: usize,
+    /// The failure detector's dedicated RNG lane
+    /// ([`SimConfig::detector`]); `None` without a detector. Drawing
+    /// suspicion from its own seeded stream keeps the main event stream
+    /// bit-identical whether or not a detector is configured — only
+    /// *hook decisions* made on the distorted view can change the run.
+    detector_rng: Option<SmallRng>,
+    /// Per node: when its liveness last changed (kill/restore), for the
+    /// detector's detection latency.
+    liveness_changed_at: Vec<SimTime>,
+    /// Per node: the liveness before the last change (what a
+    /// still-unsettled detector keeps reporting).
+    prev_alive: Vec<bool>,
+    /// Nodes the detector reported non-up at the most recent context
+    /// assembly (time-series gauge; 0 without a detector, and stale for
+    /// hooks that never request a context — nobody sees suspicion then).
+    suspected_down: u64,
     /// The tail-attribution observer ([`crate::observe`]); `None` (the
     /// default) keeps every handler on its historical path. The observer
     /// is pure bookkeeping: it draws no randomness and schedules no
@@ -276,6 +295,16 @@ impl Simulation {
                 .map(|ac| crate::autoscale::AutoscalePolicy::new(ac, config.node_count)),
             down_nodes: 0,
             kills_seen: false,
+            degraded_nodes: 0,
+            detector_rng: config.detector.as_ref().map(|_| {
+                SmallRng::seed_from_u64(pcs_harness::seed::mix(
+                    config.seed,
+                    crate::faults::SALT_DETECTOR,
+                ))
+            }),
+            liveness_changed_at: vec![SimTime::ZERO; config.node_count],
+            prev_alive: vec![true; config.node_count],
+            suspected_down: 0,
             observer: config.observe.map(|oc| Observer::new(&oc)),
             ctx_bufs: CtxBuffers::default(),
             config,
@@ -605,7 +634,11 @@ impl Simulation {
             cached.2
         } else {
             let u = self.cluster.contention(node);
-            let mean = self.ground_truth.mean_service_time(class, &u);
+            // A straggling node scales every service time it draws; the
+            // healthy multiplier is exactly 1.0, and IEEE `x * 1.0 == x`,
+            // so clean runs stay bit-identical. Degrade/recover bump the
+            // node's demand version, invalidating this cache in step.
+            let mean = self.ground_truth.mean_service_time(class, &u) * self.cluster.slowdown(node);
             self.mean_cache[ci] = (node, version, mean);
             mean
         };
@@ -758,6 +791,11 @@ impl Simulation {
             if !self.config.faults.is_empty() {
                 let phase = self.fault_phase();
                 self.collectors.phase_latency[phase as usize].record(latency);
+                // The straggler window is orthogonal to the kill phases:
+                // completions while any node is gray.
+                if self.degraded_nodes > 0 {
+                    self.collectors.degraded_latency.record(latency);
+                }
             }
         }
         let class = self.stage_class[item.stage as usize];
@@ -1025,6 +1063,10 @@ impl Simulation {
                 }
                 self.down_nodes += 1;
                 self.kills_seen = true;
+                // Detector bookkeeping: the change becomes visible to
+                // hooks only after the detection latency elapses.
+                self.prev_alive[node.index()] = true;
+                self.liveness_changed_at[node.index()] = now;
                 self.collectors.fault_stats.kills += 1;
                 if let Some(obs) = &mut self.observer {
                     obs.set_fault_active(true);
@@ -1072,6 +1114,8 @@ impl Simulation {
                     return; // already alive: idempotent
                 }
                 self.down_nodes -= 1;
+                self.prev_alive[node.index()] = false;
+                self.liveness_changed_at[node.index()] = now;
                 self.collectors.fault_stats.restores += 1;
                 let still_down = self.down_nodes > 0;
                 if let Some(obs) = &mut self.observer {
@@ -1087,6 +1131,32 @@ impl Simulation {
                         self.collectors.fault_stats.restored_in_place += 1;
                         self.collectors.record_evacuation(now - since);
                     }
+                }
+            }
+            FaultKind::Degrade { factor } => {
+                // The node turns gray: liveness, orphan state and queues
+                // are untouched — only service times drawn on it from now
+                // on are scaled (the degrade bumps the node's demand
+                // version, so the memoised means re-derive).
+                let before = self.cluster.slowdown(node);
+                self.cluster.degrade_node(node, factor);
+                if self.cluster.slowdown(node) == before {
+                    return; // same factor: idempotent
+                }
+                self.collectors.fault_stats.degrades += 1;
+                self.degraded_nodes = self.cluster.degraded_count();
+                if let Some(obs) = &mut self.observer {
+                    obs.set_degraded(self.degraded_nodes > 0);
+                }
+            }
+            FaultKind::Recover => {
+                if !self.cluster.recover_node(node) {
+                    return; // not degraded: idempotent
+                }
+                self.collectors.fault_stats.recovers += 1;
+                self.degraded_nodes = self.cluster.degraded_count();
+                if let Some(obs) = &mut self.observer {
+                    obs.set_degraded(self.degraded_nodes > 0);
                 }
             }
         }
@@ -1217,6 +1287,8 @@ impl Simulation {
                 warming_nodes: warming,
                 draining_nodes: draining,
                 down_nodes: self.down_nodes as u64,
+                degraded_nodes: self.degraded_nodes as u64,
+                suspected_nodes: self.suspected_down,
             };
             observer.record_window(sample);
         }
@@ -1280,24 +1352,63 @@ impl Simulation {
         bufs.demands.clear();
         bufs.status.clear();
         bufs.versions.clear();
+        let mut suspected: u64 = 0;
         for n in 0..self.cluster.len() {
             let node = self.cluster.node(NodeId::from_index(n));
             bufs.demands.push(node.total_demand());
             // On elastic runs the autoscaler owns membership status
             // (warming/draining nodes stay cluster-alive: batch churn
-            // continues); otherwise status is fault liveness as before.
-            bufs.status.push(match &self.autoscaler {
+            // continues); otherwise status is fault liveness — filtered
+            // through the failure detector when one is configured.
+            let status = match &self.autoscaler {
                 Some(a) => a.status(n),
                 None => {
-                    if node.is_alive() {
-                        crate::faults::NodeStatus::Up
-                    } else {
-                        crate::faults::NodeStatus::Down
+                    let truth_up = node.is_alive();
+                    match (&self.config.detector, &mut self.detector_rng) {
+                        (Some(det), Some(rng)) => {
+                            // Until the detection latency elapses the
+                            // detector still reports the pre-change
+                            // liveness; afterwards it sees the truth but
+                            // flips it with the configured error rates.
+                            // One draw per (tick, node), consumed
+                            // unconditionally, keeps the detector lane
+                            // aligned whatever the statuses are.
+                            let settled =
+                                now >= self.liveness_changed_at[n] + det.detection_latency;
+                            let believed_up = if settled {
+                                truth_up
+                            } else {
+                                self.prev_alive[n]
+                            };
+                            let u: f64 = rng.gen();
+                            let reported_up = if believed_up {
+                                u >= det.false_positive_rate
+                            } else {
+                                u < det.false_negative_rate
+                            };
+                            if reported_up {
+                                crate::faults::NodeStatus::Up
+                            } else {
+                                suspected += 1;
+                                crate::faults::NodeStatus::Down
+                            }
+                        }
+                        _ => {
+                            if truth_up {
+                                crate::faults::NodeStatus::Up
+                            } else {
+                                crate::faults::NodeStatus::Down
+                            }
+                        }
                     }
                 }
-            });
+            };
+            bufs.status.push(status);
             bufs.versions
                 .push(self.cluster.demand_version(NodeId::from_index(n)));
+        }
+        if self.config.detector.is_some() {
+            self.suspected_down = suspected;
         }
         let ctx = SchedulerContext {
             now,
@@ -2115,5 +2226,240 @@ mod tests {
             .any(|s| s.flags & crate::observe::FLAG_FAULT != 0));
         let during: Vec<_> = obs.series.iter().filter(|r| r.down_nodes > 0).collect();
         assert!(!during.is_empty(), "series must show the down window");
+    }
+
+    // ---- stragglers and noisy detection -----------------------------
+
+    fn degrade_at(node: usize, at_secs: f64, factor: f64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+            node: NodeId::from_index(node),
+            kind: FaultKind::Degrade { factor },
+        }
+    }
+
+    fn recover_at(node: usize, at_secs: f64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+            node: NodeId::from_index(node),
+            kind: FaultKind::Recover,
+        }
+    }
+
+    /// A straggler keeps serving — slower. Its window inflates latency,
+    /// the degrade/recover counters fire once each, and the degraded
+    /// component summary captures the gray-window completions.
+    #[test]
+    fn straggler_inflates_latency_and_counts_events() {
+        let clean = run_basic(quiet_config(50.0, 23));
+        let mut cfg = quiet_config(50.0, 23);
+        cfg.faults = FaultPlan::new(vec![degrade_at(1, 3.0, 8.0), recover_at(1, 6.0)]);
+        let gray = run_basic(cfg);
+        assert_eq!(gray.faults.stats.degrades, 1);
+        assert_eq!(gray.faults.stats.recovers, 1);
+        assert_eq!(gray.faults.stats.kills, 0);
+        assert_eq!(
+            gray.faults.stats.requests_lost, 0,
+            "stragglers lose nothing"
+        );
+        assert!(
+            gray.faults.degraded.count > 0,
+            "gray-window completions recorded"
+        );
+        assert!(
+            gray.overall_latency.mean > clean.overall_latency.mean,
+            "an 8x straggler must inflate latency: {} vs {}",
+            gray.overall_latency.mean,
+            clean.overall_latency.mean
+        );
+    }
+
+    /// `Degrade { factor: 1.0 }` is a provable no-op: the slowdown
+    /// multiplier stays 1.0 (and `x * 1.0 == x` in IEEE arithmetic), so
+    /// the simulated trajectory is bit-identical to the clean run.
+    #[test]
+    fn unit_degrade_factor_is_trajectory_identical() {
+        let clean = run_basic(quiet_config(50.0, 29));
+        let mut cfg = quiet_config(50.0, 29);
+        cfg.faults = FaultPlan::new(vec![degrade_at(2, 3.0, 1.0), recover_at(2, 6.0)]);
+        let noop = run_basic(cfg);
+        assert_eq!(clean.stats, noop.stats);
+        assert_eq!(
+            noop.faults.stats.degrades, 0,
+            "unchanged slowdown is not an event"
+        );
+        assert_eq!(noop.faults.stats.recovers, 0);
+        assert_eq!(noop.faults.degraded.count, 0);
+        assert_eq!(clean.overall_latency.count, noop.overall_latency.count);
+        assert!((clean.overall_latency.mean - noop.overall_latency.mean).abs() < f64::EPSILON);
+        assert!((clean.component_latency.p99 - noop.component_latency.p99).abs() < f64::EPSILON);
+    }
+
+    /// A killed-then-restored straggler rejoins still gray: slowdown
+    /// survives the kill until an explicit `Recover`.
+    #[test]
+    fn slowdown_survives_kill_and_restore() {
+        let mut cfg = quiet_config(50.0, 37);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        cfg.faults = FaultPlan::new(vec![
+            degrade_at(1, 2.5, 4.0),
+            kill_at(1, 3.0),
+            restore_at(1, 4.0),
+        ]);
+        let mut sim = Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(NoopScheduler));
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.end_cap {
+                break;
+            }
+            sim.handle(event);
+        }
+        assert!(sim.cluster.node(NodeId::new(1)).is_alive());
+        assert_eq!(sim.cluster.slowdown(NodeId::new(1)), 4.0);
+        assert_eq!(sim.degraded_nodes, 1);
+    }
+
+    /// A perfect detector (zero latency, zero error rates) reproduces
+    /// ground-truth liveness exactly: the full report is identical to the
+    /// no-detector run, fault plan and all.
+    #[test]
+    fn perfect_detector_matches_ground_truth() {
+        let faulted = |detector| {
+            let mut cfg = quiet_config(60.0, 31);
+            cfg.deployment = DeploymentConfig { replication: 2 };
+            cfg.faults = FaultPlan::new(vec![kill_at(2, 3.0), restore_at(2, 5.0)]);
+            cfg.detector = detector;
+            Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(PileUp)).run()
+        };
+        let truth = faulted(None);
+        let detected = faulted(Some(crate::faults::FailureDetector::perfect()));
+        assert_eq!(truth.stats, detected.stats);
+        assert_eq!(truth.faults, detected.faults);
+        assert_eq!(truth.events_processed, detected.events_processed);
+        assert!((truth.overall_latency.mean - detected.overall_latency.mean).abs() < f64::EPSILON);
+        assert!(
+            (truth.component_latency.p99 - detected.component_latency.p99).abs() < f64::EPSILON
+        );
+    }
+
+    /// Reads the context every interval but never orders anything: the
+    /// minimal hook whose perception the detector distorts without the
+    /// distortion feeding back into the trajectory.
+    #[derive(Debug, Clone, Copy)]
+    struct WatchOnly;
+    impl SchedulerHook for WatchOnly {
+        fn on_interval(
+            &mut self,
+            _ctx: &SchedulerContext<'_>,
+        ) -> Vec<crate::policy::MigrationRequest> {
+            Vec::new()
+        }
+    }
+
+    /// Evacuates suspected-down nodes, but only to a destination it
+    /// believes is legal (a liveness-respecting hook, unlike `PileUp`).
+    #[derive(Debug, Clone, Copy)]
+    struct CautiousEvacuator;
+    impl SchedulerHook for CautiousEvacuator {
+        fn on_interval(
+            &mut self,
+            ctx: &SchedulerContext<'_>,
+        ) -> Vec<crate::policy::MigrationRequest> {
+            for c in ctx.components {
+                if !ctx.node_status[c.node.index()].is_up() && !c.migrating {
+                    for n in 0..ctx.node_status.len() {
+                        if n != c.node.index() && ctx.legal_destination(c.id, n) {
+                            return vec![crate::policy::MigrationRequest {
+                                component: c.id,
+                                to: NodeId::from_index(n),
+                            }];
+                        }
+                    }
+                }
+            }
+            Vec::new()
+        }
+    }
+
+    /// An always-wrong detector (false-positive rate 1) makes a
+    /// liveness-respecting hook see every healthy node as down — it finds
+    /// no legal destination, so it freezes — while dispatch keeps using
+    /// ground truth and the service still completes requests.
+    #[test]
+    fn false_positives_distort_hook_perception_only() {
+        let mut cfg = quiet_config(50.0, 41);
+        cfg.detector = Some(crate::faults::FailureDetector {
+            detection_latency: SimDuration::ZERO,
+            false_positive_rate: 1.0,
+            false_negative_rate: 0.0,
+        });
+        let mut sim = Simulation::new(cfg, Box::new(BasicPolicy), Box::new(CautiousEvacuator));
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.end_cap {
+                break;
+            }
+            sim.handle(event);
+        }
+        assert_eq!(
+            sim.suspected_down, 6,
+            "every healthy node is suspected at fp rate 1"
+        );
+        assert_eq!(
+            sim.collectors.stats.migrations, 0,
+            "a hook that believes every node is down finds no destination"
+        );
+        assert!(
+            sim.collectors.stats.requests_completed > 0,
+            "dispatch uses ground truth"
+        );
+    }
+
+    /// With a long detection latency the hook keeps seeing the stale
+    /// pre-kill liveness: a dead node reads `Up` for the whole run, so
+    /// nothing is ever suspected.
+    #[test]
+    fn detection_latency_delays_the_status_flip() {
+        let mut cfg = quiet_config(60.0, 43);
+        cfg.deployment = DeploymentConfig { replication: 2 };
+        cfg.faults = FaultPlan::new(vec![kill_at(2, 3.0)]);
+        cfg.detector = Some(crate::faults::FailureDetector {
+            detection_latency: SimDuration::from_secs(3600),
+            false_positive_rate: 0.0,
+            false_negative_rate: 0.0,
+        });
+        let mut sim = Simulation::new(cfg, Box::new(PrimaryOnly), Box::new(PileUp));
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.end_cap {
+                break;
+            }
+            sim.handle(event);
+        }
+        assert!(!sim.cluster.node(NodeId::new(2)).is_alive());
+        assert_eq!(
+            sim.suspected_down, 0,
+            "the kill stays invisible inside the detection latency"
+        );
+    }
+
+    /// Detector draws come from a dedicated RNG lane: a noisy detector on
+    /// a fault-free run distorts the hook's perception without touching
+    /// dispatch randomness — as long as the hook orders nothing, the
+    /// trajectory is bit-identical to the detector-free run.
+    #[test]
+    fn noisy_detector_preserves_the_main_rng_lane() {
+        let run = |detector| {
+            let mut cfg = quiet_config(50.0, 47);
+            cfg.detector = detector;
+            Simulation::new(cfg, Box::new(BasicPolicy), Box::new(WatchOnly)).run()
+        };
+        let clean = run(None);
+        let noisy = run(Some(crate::faults::FailureDetector {
+            detection_latency: SimDuration::from_millis(500),
+            false_positive_rate: 0.2,
+            false_negative_rate: 0.1,
+        }));
+        assert_eq!(clean.stats, noisy.stats);
+        assert_eq!(clean.events_processed, noisy.events_processed);
+        assert!((clean.overall_latency.mean - noisy.overall_latency.mean).abs() < f64::EPSILON);
+        assert!((clean.component_latency.p99 - noisy.component_latency.p99).abs() < f64::EPSILON);
     }
 }

@@ -546,6 +546,77 @@ fn elastic_benches(smoke: bool, repeats: usize) -> Vec<Json> {
     rows
 }
 
+/// The imperfect-information section: each technique's clean cell and
+/// its degraded-input counterpart (the `moderate` level's gray rack +
+/// kill-restore outage, noisy failure detector, and — for PCS — the
+/// level's prediction-noise σ), replaying exactly the scenario's cells.
+/// Beside wall-clock/events-per-sec, each row carries the run's
+/// deterministic `p99_ms` and `requests_lost`, so a bench report also
+/// witnesses the graceful-degradation headline (noisy PCS still beats
+/// the baselines on both axes at the moderate level).
+fn imperfect_benches(smoke: bool, repeats: usize) -> Vec<Json> {
+    let params = SweepParams {
+        seed: 62024,
+        smoke,
+        ..SweepParams::default()
+    };
+    let cfg = scenarios::imperfect::bench_grid(&params);
+    let models = train_models(&cfg);
+    let rate = cfg.rates[0];
+    let mut rows = Vec::new();
+    for level in ["clean", "moderate"] {
+        let (config, sigma) = scenarios::imperfect::bench_cell_config(&cfg, rate, level);
+        let set = vec![
+            techniques::basic(),
+            techniques::ll(),
+            if sigma > 0.0 {
+                techniques::pcs_noisy(sigma)
+            } else {
+                techniques::pcs()
+            },
+        ];
+        for technique in &set {
+            let name = format!("imperfect/{level}/{}", technique.name());
+            eprintln!("bench: {name} @ {rate} req/s ...");
+            let mut wall_ms = f64::INFINITY;
+            let mut events = 0u64;
+            let mut p99_ms = 0.0;
+            let mut requests_lost = 0u64;
+            for _ in 0..repeats {
+                let started = Instant::now();
+                let report = fig6::run_cell_with_epsilon(
+                    &config,
+                    technique.as_ref(),
+                    &models,
+                    cfg.epsilon_secs,
+                );
+                wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                // Deterministic sim: every repeat replays the same trace.
+                debug_assert!(events == 0 || events == report.events_processed);
+                events = report.events_processed;
+                p99_ms = report.component_p99_ms();
+                requests_lost = report.faults.stats.requests_lost;
+            }
+            let events_per_sec = if wall_ms > 0.0 {
+                events as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            };
+            rows.push(Json::object(vec![
+                ("bench".into(), Json::from(name)),
+                ("rate".into(), Json::Num(rate)),
+                ("level".into(), Json::from(level)),
+                ("events".into(), Json::from(events)),
+                ("wall_ms".into(), Json::Num(wall_ms)),
+                ("events_per_sec".into(), Json::Num(events_per_sec)),
+                ("p99_ms".into(), Json::Num(p99_ms)),
+                ("requests_lost".into(), Json::from(requests_lost)),
+            ]));
+        }
+    }
+    rows
+}
+
 /// The observability section: the pinned fig6 smoke PCS cell with the
 /// observe layer off and on. Both rows replay the identical trace (the
 /// layer consumes no randomness and schedules no events — the event
@@ -689,6 +760,9 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
     // ---- elastic-capacity benches ------------------------------------
     let elastic_rows = elastic_benches(params.smoke, repeats);
 
+    // ---- imperfect-information benches -------------------------------
+    let imperfect_rows = imperfect_benches(params.smoke, repeats);
+
     // ---- observability benches ---------------------------------------
     let observe_rows = observe_benches(repeats);
 
@@ -749,6 +823,7 @@ pub fn run(params: &BenchParams) -> Result<Json, String> {
         ("scheduler".into(), Json::Array(scheduler_rows)),
         ("parallel".into(), Json::Array(parallel_rows)),
         ("elastic".into(), Json::Array(elastic_rows)),
+        ("imperfect".into(), Json::Array(imperfect_rows)),
         ("observe".into(), Json::Array(observe_rows)),
         ("scenarios".into(), Json::Array(scenario_rows)),
     ];
@@ -967,6 +1042,29 @@ pub fn check_report(text: &str) -> Result<(), String> {
             ));
         }
     }
+    // The imperfect section must witness both sides of the degradation
+    // comparison: every technique's clean cell and its degraded-input
+    // counterpart, each a real timed run.
+    let imperfect_rows = report
+        .get("imperfect")
+        .and_then(Json::as_array)
+        .ok_or("report has no imperfect array")?;
+    for level in ["clean", "moderate"] {
+        let row = imperfect_rows
+            .iter()
+            .find(|row| row.get("level").and_then(Json::as_str) == Some(level))
+            .ok_or_else(|| format!("imperfect section has no `{level}`-level row"))?;
+        let wall = row.get("wall_ms").and_then(Json::as_f64);
+        if !wall.is_some_and(|w| w.is_finite() && w > 0.0) {
+            return Err(format!(
+                "imperfect bench `{}` has no positive wall_ms",
+                row.get("bench")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed>")
+            ));
+        }
+    }
+
     // The observe section must witness both sides of the zero-cost
     // claim: an instrumentation-off row (the regression sentinel against
     // the previous PR's baseline) and an instrumentation-on row.
@@ -1032,6 +1130,24 @@ mod tests {
             assert!(row.get("events").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(row.get("node_hours").and_then(Json::as_f64).unwrap() > 0.0);
         }
+        // Imperfect section: per technique, a clean cell and its
+        // degraded-input counterpart — the gray rack, the outage and the
+        // noisy detector only make the moderate rows lose requests.
+        let imperfect = report.get("imperfect").and_then(Json::as_array).unwrap();
+        assert_eq!(imperfect.len(), 6);
+        let level_of = |row: &Json| row.get("level").and_then(Json::as_str).unwrap().to_string();
+        assert!(imperfect[..3].iter().all(|r| level_of(r) == "clean"));
+        assert!(imperfect[3..].iter().all(|r| level_of(r) == "moderate"));
+        for row in imperfect {
+            assert!(row.get("events").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("p99_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+        let lost_of = |row: &Json| row.get("requests_lost").and_then(Json::as_f64).unwrap();
+        assert!(imperfect[..3].iter().all(|r| lost_of(r) == 0.0));
+        assert!(
+            imperfect[3..].iter().any(|r| lost_of(r) > 0.0),
+            "the moderate outage must cost some technique requests"
+        );
         // Observe section: the same pinned cell off and on, identical
         // event counts (the layer schedules nothing), overhead ratio on
         // the on-row only.

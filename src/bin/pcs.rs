@@ -65,6 +65,12 @@ fn usage() -> String {
          \x20                      (scale; omit for the serial engine)\n\
          \x20 --target-util <f>    autoscaler target utilisation in (0, 1] (elastic)\n\
          \x20 --cooldown <secs>    autoscaler cooldown between scale actions (elastic)\n\
+         \x20 --detector-latency <secs>  failure-detector heartbeat timeout, pinned\n\
+         \x20                      across all levels (imperfect)\n\
+         \x20 --fp-rate <f>        detector false-positive rate in [0, 1] (imperfect)\n\
+         \x20 --fn-rate <f>        detector false-negative rate in [0, 1] (imperfect)\n\
+         \x20 --noise <sigma>      prediction-noise sigma for the PCS cells\n\
+         \x20                      (imperfect; not with --techniques)\n\
          \x20 --observe            observability layer: request timelines, tail\n\
          \x20                      attribution, time-series, scheduler audits\n\
          \x20 --top-k <n>          slowest timelines retained per cell (default 5;\n\
@@ -287,6 +293,51 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 params.cooldown_secs = Some(secs);
             }
+            "--detector-latency" => {
+                let secs: f64 = value("--detector-latency")?
+                    .parse()
+                    .map_err(|e| format!("--detector-latency: {e}"))?;
+                if !(secs.is_finite() && secs >= 0.0) {
+                    return Err(format!(
+                        "--detector-latency: must be a non-negative number of seconds, got {secs}"
+                    ));
+                }
+                params.detector_latency_secs = Some(secs);
+            }
+            "--fp-rate" => {
+                let rate: f64 = value("--fp-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fp-rate: {e}"))?;
+                if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                    return Err(format!(
+                        "--fp-rate: false-positive rate must be in [0, 1], got {rate}"
+                    ));
+                }
+                params.fp_rate = Some(rate);
+            }
+            "--fn-rate" => {
+                let rate: f64 = value("--fn-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fn-rate: {e}"))?;
+                if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                    return Err(format!(
+                        "--fn-rate: false-negative rate must be in [0, 1], got {rate}"
+                    ));
+                }
+                params.fn_rate = Some(rate);
+            }
+            "--noise" => {
+                let sigma: f64 = value("--noise")?
+                    .parse()
+                    .map_err(|e| format!("--noise: {e}"))?;
+                if !(sigma.is_finite() && (0.0..=techniques::MAX_NOISE_SIGMA).contains(&sigma)) {
+                    return Err(format!(
+                        "--noise: sigma must be in 0..={}, got {sigma}",
+                        techniques::MAX_NOISE_SIGMA
+                    ));
+                }
+                params.noise = Some(sigma);
+            }
             "--observe" => observe = true,
             "--top-k" => {
                 let k: usize = value("--top-k")?
@@ -316,6 +367,16 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .to_string(),
             );
         }
+    }
+    if params.noise.is_some() && params.techniques.is_some() {
+        // The noise dial works by swapping the default grid's PCS cell
+        // for `pcs-n<sigma>`; a technique override replaces that grid, so
+        // the flag would silently do nothing.
+        return Err(
+            "--noise cannot combine with --techniques (the override replaces the grid the \
+             noise is applied to); select `pcs-n<sigma>` in --techniques instead"
+                .to_string(),
+        );
     }
     if observe {
         params.observe = Some(top_k.unwrap_or(5));
@@ -388,6 +449,19 @@ fn cmd_run(args: &[String]) -> i32 {
     {
         eprintln!(
             "scenario `{}` has no autoscaler; --target-util/--cooldown apply to: elastic",
+            scenario.name()
+        );
+        return 2;
+    }
+    if (run.params.detector_latency_secs.is_some()
+        || run.params.fp_rate.is_some()
+        || run.params.fn_rate.is_some()
+        || run.params.noise.is_some())
+        && scenario.name() != "imperfect"
+    {
+        eprintln!(
+            "scenario `{}` has no imperfect-information dials; \
+             --detector-latency/--fp-rate/--fn-rate/--noise apply to: imperfect",
             scenario.name()
         );
         return 2;

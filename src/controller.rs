@@ -15,6 +15,7 @@ use pcs_core::{
     SchedulerConfig, ThresholdPolicy,
 };
 use pcs_monitor::SamplerConfig;
+use pcs_queueing::distributions::{LogNormal, ServiceDistribution};
 use pcs_regression::TrainingConfig;
 use pcs_sim::profiler::profile_class;
 use pcs_sim::{
@@ -22,6 +23,8 @@ use pcs_sim::{
 };
 use pcs_types::{ContentionVector, NodeCapacity, NodeId, PcsError, ResourceVector};
 use pcs_workloads::{BatchWorkload, JobSpec, ServiceTopology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// The contention attributed to a dead node when building matrix inputs:
 /// far beyond any trained operating point, so every prediction there
@@ -48,6 +51,40 @@ const ESTIMATE_HYSTERESIS: f64 = 0.05;
 /// True when `a` and `b` are within the estimate dead-band of each other.
 fn near(a: f64, b: f64) -> bool {
     (a - b).abs() <= ESTIMATE_HYSTERESIS * a.abs().max(b.abs())
+}
+
+/// Seed salt of the prediction-noise RNG lane (`pcs-n<σ>` techniques).
+/// Mixed with the σ bit pattern so distinct noise levels draw distinct,
+/// well-spread streams; the lane is independent of the run seed, so a
+/// given technique applies the *same* error trajectory to every cell of a
+/// sweep — the degradation curve varies the error magnitude, not the
+/// error sample.
+const SALT_PREDICTION_NOISE: u64 = 0x5eed_0006;
+
+/// Seeded multiplicative error on the controller's demand estimates: one
+/// mean-one log-normal factor per live node per interval. Models an
+/// imperfect predictor/monitor pipeline whose estimates are unbiased but
+/// dispersed with parameter σ (of the underlying normal).
+#[derive(Debug, Clone)]
+struct DemandNoise {
+    dist: LogNormal,
+    rng: SmallRng,
+}
+
+impl DemandNoise {
+    fn new(sigma: f64) -> Self {
+        // Mean-one: scv = exp(σ²) − 1 under `with_mean_scv`.
+        let dist = LogNormal::with_mean_scv(1.0, (sigma * sigma).exp_m1());
+        let rng = SmallRng::seed_from_u64(pcs_harness::seed::mix(
+            SALT_PREDICTION_NOISE,
+            sigma.to_bits(),
+        ));
+        DemandNoise { dist, rng }
+    }
+
+    fn draw(&mut self) -> f64 {
+        self.dist.sample(&mut self.rng)
+    }
 }
 
 /// Component-wise [`near`] over a demand vector.
@@ -77,6 +114,11 @@ pub struct PcsController {
     /// sampled windows — the oracle upper bound on what better monitoring
     /// and prediction could buy.
     ground_truth: bool,
+    /// Seeded multiplicative noise on every live node's demand estimate
+    /// (`pcs-n<σ>`): the controlled *lower* direction of the same axis —
+    /// how gracefully the scheduling algorithm degrades as its inputs get
+    /// worse. `None` (σ = 0) leaves the estimates untouched.
+    demand_noise: Option<DemandNoise>,
     /// Last known mean demand per node, carried across intervals for nodes
     /// whose sampling window came back empty.
     last_node_demand: Vec<ResourceVector>,
@@ -134,6 +176,7 @@ impl PcsController {
             threshold: None,
             scv_override: None,
             ground_truth: false,
+            demand_noise: None,
             last_node_demand: Vec::new(),
             hier_group_cap: None,
             carried: None,
@@ -173,6 +216,29 @@ impl PcsController {
     #[must_use]
     pub fn with_ground_truth(mut self) -> Self {
         self.ground_truth = true;
+        self
+    }
+
+    /// Multiplies every live node's demand estimate with seeded mean-one
+    /// log-normal noise of parameter `sigma` (one fresh factor per node
+    /// per interval, on a dedicated RNG lane). This is the `pcs-n<σ>`
+    /// technique family: a controlled sweep of prediction quality between
+    /// the `oracle` upper bound and arbitrarily bad inputs, measuring how
+    /// gracefully PCS degrades. `sigma = 0` is a provable no-op — no
+    /// noise object is built and no draws are made, so reports stay
+    /// byte-identical to plain `pcs`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma` is finite and non-negative.
+    #[must_use]
+    pub fn with_demand_noise(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "demand-noise sigma must be finite and non-negative, got {sigma}"
+        );
+        if sigma > 0.0 {
+            self.demand_noise = Some(DemandNoise::new(sigma));
+        }
         self
     }
 
@@ -261,7 +327,7 @@ impl PcsController {
             // jobs vanished — which is exactly the wrong signal to hand a
             // placement algorithm). `last_node_demand` keeps the final
             // live estimate so a restored node re-enters smoothly.
-            let demand = if !ctx.node_status[j].is_up() {
+            let mut demand = if !ctx.node_status[j].is_up() {
                 ctx.node_capacities[j].denormalize(&DEAD_NODE_CONTENTION)
             } else if self.ground_truth {
                 ctx.ground_truth_demand[j]
@@ -276,7 +342,13 @@ impl PcsController {
                 ctx.node_capacities[j].denormalize(&mean)
             };
             if ctx.node_status[j].is_up() {
+                // Carry the *clean* estimate so empty-window fallbacks do
+                // not compound error factors across intervals; each
+                // interval's estimate gets exactly one fresh factor.
                 self.last_node_demand[j] = demand;
+                if let Some(noise) = &mut self.demand_noise {
+                    demand = demand.scaled(noise.draw());
+                }
             }
             nodes.push(NodeInput {
                 id: pcs_types::NodeId::from_index(j),

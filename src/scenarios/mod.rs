@@ -27,6 +27,7 @@
 //! | `failures-rolling` | techniques under a rolling-restart maintenance wave |
 //! | `scale` | flat vs hierarchical PCS at 100/400/1000 nodes |
 //! | `elastic` | autoscaling: node-hours at a fixed P99 SLO per technique |
+//! | `imperfect` | graceful degradation under imperfect information |
 //!
 //! The comparison scenarios sweep the open technique registry
 //! ([`crate::techniques`]); `--techniques <list>` overrides any of their
@@ -37,6 +38,7 @@ pub mod elastic;
 pub mod extended;
 pub mod failures;
 pub mod figures;
+pub mod imperfect;
 pub mod scale;
 
 use crate::controller::PcsController;
@@ -67,6 +69,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(failures::RollingRestartScenario),
         Box::new(scale::ScaleScenario),
         Box::new(elastic::ElasticScenario),
+        Box::new(imperfect::ImperfectScenario),
     ]
 }
 
@@ -232,7 +235,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
         for name in &names {
             assert!(find(name).is_some(), "{name} must be findable");
             assert_eq!(names.iter().filter(|n| n == &name).count(), 1);
@@ -260,7 +263,8 @@ mod tests {
                 "failures",
                 "failures-rolling",
                 "scale",
-                "elastic"
+                "elastic",
+                "imperfect"
             ]
         );
     }

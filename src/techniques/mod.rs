@@ -20,6 +20,7 @@
 //! | `pcs-h<cap>` | hierarchical rack-aware PCS, ≤ cap components per group (`hier` = cap 64) |
 //! | `ll` | least-loaded reactive migration — no prediction |
 //! | `oracle` | PCS fed the simulator's exact node demand (upper bound) |
+//! | `pcs-n<σ>` | PCS with mean-one log-normal noise (σ) on its demand estimates |
 //! | `cap` | capacity-aware initial placement, no runtime scheduling |
 //!
 //! Names round-trip exactly: [`parse`] accepts any case and
@@ -31,6 +32,7 @@ mod builtin;
 mod capacity;
 mod hier;
 mod hybrid;
+mod noisy;
 mod oracle;
 mod reactive;
 
@@ -38,6 +40,7 @@ pub use builtin::{minimal_percent, BasicSpec, PcsSpec, RedSpec, RiSpec};
 pub use capacity::CapacityAwareSpec;
 pub use hier::{HierPcsSpec, DEFAULT_GROUP_CAP, MAX_GROUP_CAP};
 pub use hybrid::{BudgetedPcsSpec, HybridRedSpec, MAX_MIGRATION_BUDGET};
+pub use noisy::{PcsNoiseSpec, MAX_NOISE_SIGMA};
 pub use oracle::OracleSpec;
 pub use reactive::{LeastLoadedHook, LeastLoadedSpec};
 
@@ -155,6 +158,15 @@ pub fn oracle() -> TechniqueRef {
     Arc::new(OracleSpec)
 }
 
+/// `PCS-N<σ>`: PCS with seeded mean-one log-normal noise of parameter
+/// `sigma` on its demand estimates (`pcs-n0` ≡ `pcs`).
+///
+/// # Panics
+/// Panics unless `0 <= sigma <= MAX_NOISE_SIGMA` and finite.
+pub fn pcs_noisy(sigma: f64) -> TechniqueRef {
+    Arc::new(PcsNoiseSpec::new(sigma))
+}
+
 /// `CAP`: capacity-aware initial placement, no runtime scheduling.
 pub fn cap() -> TechniqueRef {
     Arc::new(CapacityAwareSpec)
@@ -176,6 +188,7 @@ pub fn registry() -> Vec<TechniqueRef> {
         pcs_hier(DEFAULT_GROUP_CAP),
         ll(),
         oracle(),
+        pcs_noisy(0.5),
         cap(),
     ]
 }
@@ -226,7 +239,8 @@ impl fmt::Display for TechniqueParseError {
             f,
             "unknown technique `{}`: {}; valid techniques: basic, red-<k> (2..=8), \
              ri-<p> (percentile in (0,100), e.g. ri-99.5), pcs, pcs+red<k> (2..=8), \
-             pcs-b<n> (1..=64), pcs-h<cap> (1..=1024; `hier` = pcs-h64), ll, oracle, cap",
+             pcs-b<n> (1..=64), pcs-h<cap> (1..=1024; `hier` = pcs-h64), \
+             pcs-n<sigma> (0..=4, e.g. pcs-n0.5), ll, oracle, cap",
             self.token, self.reason
         )
     }
@@ -292,6 +306,18 @@ pub fn parse(name: &str) -> Result<TechniqueRef, TechniqueParseError> {
             ));
         }
         return Ok(pcs_hier(cap));
+    }
+    if let Some(sigma) = lower.strip_prefix("pcs-n") {
+        let sigma: f64 = sigma
+            .parse()
+            .map_err(|_| err(token, "the sigma after `pcs-n` is not a number"))?;
+        if !(sigma.is_finite() && (0.0..=MAX_NOISE_SIGMA).contains(&sigma)) {
+            return Err(err(
+                token,
+                format!("noise sigma must be in 0..={MAX_NOISE_SIGMA}"),
+            ));
+        }
+        return Ok(pcs_noisy(sigma));
     }
     if let Some(k) = lower.strip_prefix("red-") {
         let k: usize = k
@@ -414,6 +440,7 @@ mod tests {
             "pcs+red<k>",
             "pcs-b<n>",
             "pcs-h<cap>",
+            "pcs-n<sigma>",
             "ll",
             "oracle",
             "cap",
@@ -446,6 +473,22 @@ mod tests {
         // mean must not absorb PCS variants.
         assert!(!is_redundancy_or_reissue("PCS+RED2"));
         assert!(!is_redundancy_or_reissue("PCS-B1"));
+    }
+
+    #[test]
+    fn noisy_parses_and_round_trips() {
+        assert_eq!(parse("pcs-n0.5").unwrap().name(), "PCS-N0.5");
+        assert_eq!(parse("PCS-N0.5").unwrap().name(), "PCS-N0.5");
+        assert_eq!(parse("pcs-n0").unwrap().name(), "PCS-N0");
+        assert_eq!(parse("pcs-n1").unwrap().name(), "PCS-N1");
+        assert_eq!(parse("pcs-n0.5").unwrap().replication(), 1);
+        assert!(parse("pcs-n-0.1").is_err(), "negative sigma");
+        assert!(parse("pcs-n4.5").is_err(), "beyond the sigma cap");
+        assert!(parse("pcs-nan").is_err(), "`an` is not a number");
+        assert!(parse("pcs-ninf").is_err(), "infinite sigma");
+        // Not a redundancy/reissue baseline: the §VI-C headline mean
+        // must not absorb PCS variants.
+        assert!(!is_redundancy_or_reissue("PCS-N0.5"));
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn timeline_json(t: &RequestTimeline) -> Json {
 }
 
 fn series_json(row: &SeriesRow) -> Json {
-    Json::object(vec![
+    let mut fields = vec![
         kv("at_us", row.at.as_micros()),
         (
             "node_utilization".to_string(),
@@ -93,7 +93,17 @@ fn series_json(row: &SeriesRow) -> Json {
         kv("warming_nodes", row.warming_nodes),
         kv("draining_nodes", row.draining_nodes),
         kv("down_nodes", row.down_nodes),
-    ])
+    ];
+    // The straggler/detector gauges appear only on rows where they are
+    // nonzero: runs without degrade events or a failure detector keep
+    // their pre-existing observed-report bytes.
+    if row.degraded_nodes > 0 {
+        fields.push(kv("degraded_nodes", row.degraded_nodes));
+    }
+    if row.suspected_nodes > 0 {
+        fields.push(kv("suspected_nodes", row.suspected_nodes));
+    }
+    Json::object(fields)
 }
 
 fn audit_json(a: &IntervalAudit) -> Json {
@@ -296,6 +306,8 @@ mod tests {
                 warming_nodes: 0,
                 draining_nodes: 0,
                 down_nodes: 1,
+                degraded_nodes: 0,
+                suspected_nodes: 0,
             }],
             audits: vec![IntervalAudit {
                 at: SimTime::from_secs(1),
@@ -345,6 +357,23 @@ mod tests {
         assert_eq!(blame.get("tail_share").unwrap().as_f64(), Some(0.75));
         let audit = &parsed.get("audits").unwrap().as_array().unwrap()[0];
         assert_eq!(audit.get("realized_delta"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn series_gauges_appear_only_when_nonzero() {
+        let mut report = tiny_report();
+        let rendered = observe_json(&report).render();
+        assert!(
+            !rendered.contains("degraded_nodes") && !rendered.contains("suspected_nodes"),
+            "zero gauges must be omitted to keep pre-existing report bytes"
+        );
+        report.series[0].degraded_nodes = 2;
+        report.series[0].suspected_nodes = 1;
+        let rendered = observe_json(&report).render();
+        let parsed = Json::parse(&rendered).unwrap();
+        let row = &parsed.get("series").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.get("degraded_nodes").unwrap().as_f64(), Some(2.0));
+        assert_eq!(row.get("suspected_nodes").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

@@ -237,6 +237,126 @@ fn shards_are_rejected_on_the_elastic_scenario() {
 }
 
 #[test]
+fn out_of_range_imperfect_knobs_are_rejected() {
+    // The imperfect-information dials are validated at parse time: a
+    // negative heartbeat timeout, an error rate outside [0, 1] or a
+    // prediction-noise sigma outside 0..=MAX can never configure a valid
+    // detector or noise wrapper.
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--detector-latency", "-1"],
+        "non-negative number of seconds",
+    );
+    rejected_with(
+        &[
+            "run",
+            "--scenario",
+            "imperfect",
+            "--detector-latency",
+            "inf",
+        ],
+        "non-negative number of seconds",
+    );
+    rejected_with(
+        &[
+            "run",
+            "--scenario",
+            "imperfect",
+            "--detector-latency",
+            "soon",
+        ],
+        "--detector-latency",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--fp-rate", "1.5"],
+        "in [0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--fp-rate", "-0.1"],
+        "in [0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--fn-rate", "2"],
+        "in [0, 1]",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--fn-rate", "often"],
+        "--fn-rate",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--noise", "-0.5"],
+        "sigma must be in 0..=",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--noise", "9"],
+        "sigma must be in 0..=",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--noise", "nan"],
+        "sigma must be in 0..=",
+    );
+    rejected_with(
+        &["run", "--scenario", "imperfect", "--noise", "lots"],
+        "--noise",
+    );
+}
+
+#[test]
+fn imperfect_knobs_are_rejected_on_other_scenarios() {
+    // Only the imperfect scenario routes the detector and noise dials
+    // into its sim configs; silently ignoring them elsewhere would claim
+    // an imperfect-information run that never happened.
+    rejected_with(
+        &["run", "--scenario", "fig6", "--detector-latency", "1"],
+        "apply to: imperfect",
+    );
+    rejected_with(
+        &["run", "--scenario", "failures", "--fp-rate", "0.01"],
+        "apply to: imperfect",
+    );
+    rejected_with(
+        &["run", "--scenario", "elastic", "--fn-rate", "0.05"],
+        "apply to: imperfect",
+    );
+    rejected_with(
+        &["run", "--scenario", "diurnal", "--noise", "0.3"],
+        "apply to: imperfect",
+    );
+}
+
+#[test]
+fn noise_cannot_combine_with_a_technique_override() {
+    // --noise works by swapping the default grid's PCS cell for
+    // `pcs-n<sigma>`; a --techniques override replaces that grid, so the
+    // flag would silently do nothing. The error points at the technique
+    // spelling instead.
+    rejected_with(
+        &[
+            "run",
+            "--scenario",
+            "imperfect",
+            "--noise",
+            "0.3",
+            "--techniques",
+            "basic,pcs",
+        ],
+        "pcs-n<sigma>",
+    );
+    // Flag order must not matter.
+    rejected_with(
+        &[
+            "run",
+            "--scenario",
+            "imperfect",
+            "--techniques",
+            "basic,pcs",
+            "--noise",
+            "0.3",
+        ],
+        "cannot combine with --techniques",
+    );
+}
+
+#[test]
 fn observe_companion_flags_require_observe() {
     // --top-k and --trace-out configure the observability layer; without
     // --observe they would silently do nothing, so the CLI refuses.

@@ -178,6 +178,24 @@ fn elastic_smoke_report_bytes_are_pinned() {
     );
 }
 
+/// The imperfect-information family, pinned from its first release: the
+/// smoke grid (6 nodes, clean + moderate levels, Basic/LL/PCS-N0.3)
+/// covers all three new channels — the straggler gray rack
+/// ([`FaultKind::Degrade`]), the noisy failure detector distorting hook
+/// perception, and the seeded prediction noise on PCS's demand
+/// estimates — plus the clean level's cells, which must stay
+/// byte-identical to a pristine world.
+#[test]
+fn imperfect_smoke_report_bytes_are_pinned() {
+    assert_reproducible("imperfect");
+    let report = render("imperfect", 2);
+    assert_eq!(
+        fnv1a(report.as_bytes()),
+        0xcfdd_31f8_7914_43e4,
+        "imperfect smoke report bytes changed; if intentional, re-pin this hash"
+    );
+}
+
 fn render_observed(name: &str, threads: usize, top_k: usize) -> String {
     let scenario = scenarios::find(name).expect("scenario registered");
     let params = SweepParams {

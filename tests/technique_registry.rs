@@ -52,6 +52,15 @@ proptest! {
     }
 
     #[test]
+    fn pcs_noisy_family_round_trips(sigma_centi in 0u32..=400) {
+        // Sigmas on a 0.01 grid across 0..=MAX_NOISE_SIGMA: covers the
+        // imperfect levels' 0.1/0.3/0.6, the σ = 0 identity case and the
+        // ceiling.
+        let sigma = sigma_centi as f64 / 100.0;
+        round_trips(techniques::pcs_noisy(sigma).as_ref());
+    }
+
+    #[test]
     fn ri_integral_percents_render_integrally(percent in 1u32..=99) {
         // A CLI token like `ri-29` must name itself `RI-29`, never
         // `RI-28.999999999999996` (the fraction-unit regression).
@@ -70,6 +79,18 @@ fn ri_display_disambiguates_close_percentiles() {
     assert_eq!(b.name(), "RI-99.51");
     round_trips(a.as_ref());
     round_trips(b.as_ref());
+}
+
+#[test]
+fn pcs_noisy_display_renders_minimally() {
+    // The sigma renders with no trailing zeros (the CLI token and the
+    // display name must agree byte for byte for the round-trip).
+    assert_eq!(techniques::pcs_noisy(0.0).name(), "PCS-N0");
+    assert_eq!(techniques::pcs_noisy(0.3).name(), "PCS-N0.3");
+    assert_eq!(techniques::pcs_noisy(1.0).name(), "PCS-N1");
+    let parsed = techniques::parse("pcs-n0.25").unwrap();
+    assert_eq!(parsed.name(), "PCS-N0.25");
+    round_trips(parsed.as_ref());
 }
 
 /// `--techniques basic,pcs` on fig6 must select exactly those columns, in
